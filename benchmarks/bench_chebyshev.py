@@ -1,0 +1,36 @@
+"""E10 -- preconditioned Chebyshev iteration count (Theorem 2.3 / Corollary 2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators, laplacian_matrix
+from repro.solvers.chebyshev import chebyshev_iteration_count, preconditioned_chebyshev
+
+
+@pytest.mark.parametrize("eps", [1e-3, 1e-6, 1e-9])
+def test_kappa3_iteration_count(benchmark, eps):
+    """Corollary 2.4: with a (1 +/- 1/2)-sparsifier preconditioner (kappa = 3)
+    the solve needs O(log 1/eps) iterations."""
+    graph = generators.random_weighted_graph(40, average_degree=8, seed=10)
+    L = laplacian_matrix(graph)
+    B_pinv = np.linalg.pinv(1.5 * L)
+    rng = np.random.default_rng(11)
+    x_true = rng.normal(size=graph.n)
+    x_true -= x_true.mean()
+    b = L @ x_true
+
+    def run():
+        return preconditioned_chebyshev(
+            apply_A=lambda v: L @ v,
+            solve_B=lambda r: B_pinv @ r,
+            b=b,
+            kappa=3.0,
+            eps=eps,
+        )
+
+    x, report = benchmark(run)
+    a_norm = lambda v: float(np.sqrt(max(0.0, v @ L @ v)))  # noqa: E731
+    benchmark.extra_info["eps"] = eps
+    benchmark.extra_info["iterations_measured"] = report.iterations
+    benchmark.extra_info["iterations_bound_O(sqrt(3) log 1/eps)"] = chebyshev_iteration_count(3.0, eps)
+    benchmark.extra_info["relative_error"] = a_norm(x - x_true) / a_norm(x_true)

@@ -1,0 +1,28 @@
+"""E7 -- JL-sketched leverage scores (Theorem 4.4, Lemma 4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.congest.ledger import CommunicationPrimitives
+from repro.linalg.jl import kane_nelson_random_bits
+from repro.linalg.leverage import approximate_leverage_scores, exact_leverage_scores
+
+
+@pytest.mark.parametrize("eta", [0.5, 0.25])
+def test_leverage_score_accuracy_and_cost(benchmark, eta, rng):
+    M = rng.normal(size=(120, 8))
+    exact = exact_leverage_scores(M)
+
+    def run():
+        comm = CommunicationPrimitives(16)
+        return approximate_leverage_scores(M, eta=eta, seed=13, comm=comm)
+
+    report = benchmark(run)
+    ratio = report.scores / exact
+    benchmark.extra_info["eta"] = eta
+    benchmark.extra_info["max_multiplicative_error"] = float(np.max(np.abs(ratio - 1)))
+    benchmark.extra_info["sketch_rows_k"] = report.sketch_rows
+    benchmark.extra_info["random_bits_used"] = report.random_bits
+    benchmark.extra_info["random_bits_bound_O(log^2 m)"] = kane_nelson_random_bits(120)
+    benchmark.extra_info["rounds_measured"] = report.rounds
+    assert np.max(np.abs(ratio - 1)) <= eta + 0.05

@@ -1,0 +1,30 @@
+"""E8 -- approximate Lewis weights (Definition 4.3, Lemma 4.6)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.lewis import (
+    compute_apx_weights,
+    exact_lewis_weights,
+    initial_weight_iteration_count,
+    lewis_p_parameter,
+)
+
+
+@pytest.mark.parametrize("eta", [0.1, 0.02])
+def test_lewis_weight_accuracy(benchmark, eta, rng):
+    M = rng.normal(size=(80, 8))
+    p = lewis_p_parameter(M.shape[0])
+    exact = exact_lewis_weights(M, p)
+
+    report = benchmark(lambda: compute_apx_weights(M, p, eta=eta, seed=17, use_sketching=False))
+
+    rel = float(np.max(np.abs(report.weights - exact) / exact))
+    benchmark.extra_info["eta_target"] = eta
+    benchmark.extra_info["relative_error_measured"] = rel
+    benchmark.extra_info["fixed_point_iterations"] = report.iterations
+    benchmark.extra_info["leverage_score_calls"] = report.leverage_calls
+    benchmark.extra_info["homotopy_bound_O(sqrt(n) log mn)"] = initial_weight_iteration_count(
+        M.shape[1], M.shape[0], p
+    )
+    assert rel <= eta + 1e-6

@@ -1,0 +1,54 @@
+"""E4 -- LP solver iteration counts: sqrt(n) weighted path following vs sqrt(m)
+classical path following (Theorem 1.4)."""
+
+import numpy as np
+import pytest
+
+from repro.congest.ledger import CommunicationPrimitives
+from repro.lp import BarrierIPM, LeeSidfordSolver, LPProblem
+from repro.lp.barrier_ipm import (
+    theoretical_iteration_bound_sqrt_m,
+    theoretical_iteration_bound_sqrt_n,
+)
+
+
+def random_lp(m, n, seed):
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(m, n))
+    x0 = rng.uniform(0.35, 0.65, size=m)
+    return LPProblem(A=A, b=A.T @ x0, c=rng.normal(size=m), lower=np.zeros(m), upper=np.ones(m)), x0
+
+
+@pytest.mark.parametrize("n", [3, 6, 12])
+def test_barrier_ipm_iterations(benchmark, n):
+    problem, x0 = random_lp(m=6 * n, n=n, seed=n)
+
+    def run():
+        comm = CommunicationPrimitives(n + 1)
+        return BarrierIPM(problem, comm=comm).solve(x0, eps=1e-6)
+
+    solution = benchmark(run)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["m"] = problem.m
+    benchmark.extra_info["newton_iterations_measured"] = solution.iterations
+    benchmark.extra_info["bound_sqrt_m"] = round(theoretical_iteration_bound_sqrt_m(problem.m, 1e-6))
+    benchmark.extra_info["bound_sqrt_n_(paper)"] = round(
+        theoretical_iteration_bound_sqrt_n(n, 2.0, 1e-6)
+    )
+    benchmark.extra_info["rounds_measured"] = solution.rounds
+    assert solution.converged
+
+
+def test_lee_sidford_path_following_steps(benchmark):
+    problem, x0 = random_lp(m=18, n=4, seed=42)
+
+    def run():
+        solver = LeeSidfordSolver(problem, reweight=True, seed=1)
+        solution = solver.solve(x0, eps=1e-2)
+        return solver, solution
+
+    solver, solution = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["path_following_steps"] = solution.iterations
+    benchmark.extra_info["iteration_bound_O(sqrt(n) log(U/eps))"] = round(solver.iteration_bound(1e-2))
+    benchmark.extra_info["gram_solves"] = solver.report.gram_solves
+    benchmark.extra_info["objective"] = solution.objective

@@ -1,0 +1,36 @@
+"""E5 -- exact min-cost max-flow: LP pipeline vs combinatorial baselines (Theorem 1.1)."""
+
+import pytest
+
+from repro.flow import min_cost_max_flow, networkx_min_cost_max_flow, successive_shortest_paths
+from repro.flow.mincostflow import theorem_round_bound
+from repro.graphs import generators
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_pipeline_exactness_and_rounds(benchmark, n):
+    network = generators.random_flow_network(n, seed=n, max_capacity=12, max_cost=8)
+
+    result = benchmark(lambda: min_cost_max_flow(network, seed=n))
+
+    value, cost, _ = networkx_min_cost_max_flow(network)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["m"] = network.m
+    benchmark.extra_info["flow_value"] = result.value
+    benchmark.extra_info["exact"] = bool(abs(result.cost - cost) < 1e-6 and abs(result.value - value) < 1e-6)
+    benchmark.extra_info["lp_iterations"] = result.lp_iterations
+    benchmark.extra_info["rounding_fallback"] = result.rounding_fallback
+    benchmark.extra_info["rounds_measured"] = result.rounds
+    benchmark.extra_info["rounds_bound_Otilde(sqrt(n) log^3 M)"] = round(
+        theorem_round_bound(n, network.max_capacity())
+    )
+    assert abs(result.cost - cost) < 1e-6
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_baseline_successive_shortest_paths(benchmark, n):
+    network = generators.random_flow_network(n, seed=n + 100, max_capacity=12, max_cost=8)
+    value, cost, _ = benchmark(lambda: successive_shortest_paths(network))
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["flow_value"] = value
+    benchmark.extra_info["flow_cost"] = cost

@@ -1,0 +1,34 @@
+"""E6 -- projection on the mixed norm ball (Lemma 4.10)."""
+
+import numpy as np
+import pytest
+
+from repro.congest.ledger import CommunicationPrimitives
+from repro.linalg.mixed_ball import project_mixed_ball, project_mixed_ball_reference
+
+
+@pytest.mark.parametrize("m", [64, 512, 4096])
+def test_mixed_ball_projection_scaling(benchmark, m, rng):
+    a = rng.normal(size=m)
+    l = rng.uniform(0.2, 4.0, size=m)
+
+    def run():
+        comm = CommunicationPrimitives(64)
+        return project_mixed_ball(a, l, comm=comm)
+
+    result = benchmark(run)
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["evaluations"] = result.evaluations
+    benchmark.extra_info["rounds_measured"] = result.rounds
+    benchmark.extra_info["constraint_value"] = round(result.constraint_value(l), 6)
+    assert result.constraint_value(l) <= 1 + 1e-6
+
+
+def test_mixed_ball_matches_reference(benchmark, rng):
+    a = rng.normal(size=128)
+    l = rng.uniform(0.2, 4.0, size=128)
+    fast = benchmark(lambda: project_mixed_ball(a, l))
+    reference = project_mixed_ball_reference(a, l)
+    benchmark.extra_info["value_fast"] = fast.value
+    benchmark.extra_info["value_reference"] = reference.value
+    assert fast.value == pytest.approx(reference.value, rel=1e-4)

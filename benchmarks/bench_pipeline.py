@@ -1,0 +1,21 @@
+"""E9 -- the Figure 1 pipeline end to end: spanner -> sparsifier -> Laplacian
+solver -> LP solver -> min-cost max-flow, with per-stage round accounting."""
+
+from repro.core import run_full_pipeline
+from repro.graphs import generators
+
+
+def test_full_pipeline(benchmark):
+    network = generators.random_flow_network(12, seed=99, max_capacity=8, max_cost=6)
+
+    report = benchmark.pedantic(lambda: run_full_pipeline(network, seed=99), rounds=1, iterations=1)
+
+    benchmark.extra_info["spanner_edges"] = report.spanner_edges
+    benchmark.extra_info["sparsifier_edges"] = report.sparsifier_edges
+    benchmark.extra_info["laplacian_relative_error"] = report.laplacian_relative_error
+    benchmark.extra_info["flow_value"] = report.flow_value
+    benchmark.extra_info["flow_cost"] = report.flow_cost
+    benchmark.extra_info["stage_rounds"] = {k: round(v) for k, v in report.stage_rounds.items()}
+    benchmark.extra_info["total_rounds"] = round(report.total_rounds)
+    assert report.flow_value > 0
+    assert report.laplacian_relative_error <= 1e-6

@@ -1,0 +1,43 @@
+"""E3 -- probabilistic spanners: stretch, size and rounds (Lemmas 3.1 / 3.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.spanners import probabilistic_spanner
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_spanner_stretch_size_rounds(benchmark, k):
+    graph = generators.random_weighted_graph(64, average_degree=10, max_weight=16, seed=3)
+
+    result = benchmark(lambda: probabilistic_spanner(graph, k=k, seed=5))
+
+    spanner_graph = result.spanner_graph(graph)
+    d_g = graph.all_pairs_shortest_paths()
+    d_s = spanner_graph.all_pairs_shortest_paths()
+    mask = np.isfinite(d_g) & (d_g > 0)
+    stretch = float(np.max(d_s[mask] / d_g[mask]))
+    size_bound = k * graph.n ** (1 + 1.0 / k)
+    round_bound = k * graph.n ** (1.0 / k) * (math.log2(graph.n) + math.log2(graph.max_weight()))
+
+    benchmark.extra_info["stretch_measured"] = round(stretch, 3)
+    benchmark.extra_info["stretch_bound"] = 2 * k - 1
+    benchmark.extra_info["edges_measured"] = spanner_graph.m
+    benchmark.extra_info["edges_bound_O(k n^{1+1/k})"] = round(size_bound)
+    benchmark.extra_info["rounds_measured"] = result.rounds
+    benchmark.extra_info["rounds_bound_O(k n^{1/k} log(nW))"] = round(round_bound)
+    assert stretch <= 2 * k - 1 + 1e-9
+
+
+@pytest.mark.parametrize("n", [32, 64, 128])
+def test_spanner_round_scaling_with_n(benchmark, n):
+    graph = generators.random_weighted_graph(n, average_degree=8, max_weight=8, seed=7)
+    result = benchmark(lambda: probabilistic_spanner(graph, k=2, seed=9))
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["rounds_measured"] = result.rounds
+    benchmark.extra_info["rounds_bound_O(k sqrt(n) log n)"] = round(
+        2 * math.sqrt(n) * math.log2(n)
+    )

@@ -1,0 +1,40 @@
+"""E1 -- spectral sparsifiers: size, quality, rounds, out-degree (Theorem 1.2)."""
+
+import math
+
+import pytest
+
+from repro.graphs import generators, spectral_approximation_factor
+from repro.sparsify import spectral_sparsify
+
+
+@pytest.mark.parametrize("n", [32, 64])
+def test_sparsifier_with_paper_parameters(benchmark, n):
+    graph = generators.erdos_renyi(n, 0.4, max_weight=8, seed=1)
+    eps = 0.5
+
+    result = benchmark(lambda: spectral_sparsify(graph, eps=eps, seed=2))
+
+    lo, hi = spectral_approximation_factor(graph, result.sparsifier)
+    size_bound = graph.n * math.log2(graph.n) ** 4 / eps**2
+    round_bound = math.log2(graph.n) ** 5 / eps**2 * math.log2(graph.n * graph.max_weight() / eps)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["m"] = graph.m
+    benchmark.extra_info["sparsifier_edges"] = result.size
+    benchmark.extra_info["size_bound_O(n eps^-2 log^4 n)"] = round(size_bound)
+    benchmark.extra_info["spectral_window"] = [round(lo, 3), round(hi, 3)]
+    benchmark.extra_info["rounds_measured"] = result.rounds
+    benchmark.extra_info["rounds_bound_O(log^5 n eps^-2 log(nU/eps))"] = round(round_bound)
+    benchmark.extra_info["max_out_degree"] = result.max_out_degree()
+    assert lo >= 1 - eps - 1e-7 and hi <= 1 + eps + 1e-7
+
+
+@pytest.mark.parametrize("t", [1, 4, 16])
+def test_sparsifier_quality_vs_bundle_size(benchmark, t):
+    """Ablation: how the spectral window tightens as the bundle grows."""
+    graph = generators.erdos_renyi(48, 0.6, max_weight=4, seed=3)
+    result = benchmark(lambda: spectral_sparsify(graph, eps=0.5, seed=4, t_override=t, k_override=2))
+    lo, hi = spectral_approximation_factor(graph, result.sparsifier)
+    benchmark.extra_info["t"] = t
+    benchmark.extra_info["edges"] = result.size
+    benchmark.extra_info["spectral_window"] = [round(lo, 3), round(hi, 3)]

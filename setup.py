@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The environment's setuptools predates full PEP 660 editable-install support, so
+``pip install -e .`` falls back to this ``setup.py`` (invoked with
+``--no-use-pep517`` / legacy develop mode).  All metadata lives in
+``pyproject.toml``; this file only mirrors what the legacy path needs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "The Laplacian Paradigm in the Broadcast Congested Clique "
+        "(Forster & de Vos, PODC 2022) - reference implementation"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7", "networkx>=2.6"],
+)

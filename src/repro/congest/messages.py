@@ -1,0 +1,85 @@
+"""Messages and bandwidth accounting for the CONGEST-family models.
+
+The models of Section 2.1 allow messages of ``B = Theta(log n)`` bits per round.
+We measure message sizes in *words*, where one word is ``ceil(log2 n)`` bits
+(enough for a vertex identifier), and allow a message to occupy several words --
+the simulator then charges several rounds for it, exactly as the paper does when
+edge weights need ``log W`` extra bits (Lemma 3.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+
+def word_size_bits(n: int) -> int:
+    """Number of bits in one machine word for an ``n``-vertex network.
+
+    The models allow ``B = Theta(log n)`` bits per message; we use exactly
+    ``ceil(log2 n)`` (at least 1) so identifiers always fit in one word.
+    """
+    if n < 1:
+        raise ValueError(f"network size must be positive, got {n}")
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+def _payload_bits(value: Any, n: int) -> int:
+    """Best-effort bit size of a message payload entry."""
+    word = word_size_bits(n)
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return max(1, int(value).bit_length() + 1)
+    if isinstance(value, float):
+        # Weights/values are assumed polynomially bounded and transmitted as
+        # fixed-point numbers; we charge a standard double word.
+        return 2 * word
+    if isinstance(value, str):
+        return 8 * len(value)
+    if isinstance(value, (tuple, list)):
+        return sum(_payload_bits(v, n) for v in value)
+    return 2 * word
+
+
+def message_size_bits(payload: Any, n: int) -> int:
+    """Total size in bits of a message payload on an ``n``-vertex network."""
+    return _payload_bits(payload, n)
+
+
+def message_size_words(payload: Any, n: int) -> int:
+    """Size of ``payload`` in ``ceil(log2 n)``-bit words (at least one)."""
+    return max(1, math.ceil(message_size_bits(payload, n) / word_size_bits(n)))
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message sent in one round.
+
+    Attributes
+    ----------
+    sender:
+        Identifier of the sending vertex.
+    payload:
+        Arbitrary (picklable) content.  The simulator measures its size and may
+        charge multiple rounds if it does not fit in one word.
+    """
+
+    sender: int
+    payload: Any = field(default=None)
+
+    def size_words(self, n: int) -> int:
+        """Size of this message in words on an ``n``-vertex network."""
+        return message_size_words(self.payload, n)
+
+    def size_bits(self, n: int) -> int:
+        """Size of this message in bits on an ``n``-vertex network."""
+        return message_size_bits(self.payload, n)
+
+
+def split_into_words(payload: Any, n: int) -> Tuple[int, int]:
+    """Return ``(words, bits)`` needed to transmit ``payload``."""
+    return message_size_words(payload, n), message_size_bits(payload, n)

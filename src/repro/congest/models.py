@@ -1,0 +1,137 @@
+"""The four bandwidth-constrained message-passing models of Section 2.1.
+
+A :class:`Model` decides, for a given communication topology,
+
+* which destination sets a vertex may address in a round,
+* whether the broadcast constraint applies (same message to every recipient),
+* and which pairs of vertices may communicate at all.
+
+The :class:`~repro.congest.network.Network` uses the model to validate every
+send operation and to account for rounds.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Mapping, Set
+
+
+class Model(ABC):
+    """Abstract communication model.
+
+    Parameters
+    ----------
+    adjacency:
+        Mapping from vertex id to the set of its neighbours in the *input*
+        graph.  For clique models the communication topology is the complete
+        graph regardless of ``adjacency``, but the input graph is still needed
+        so algorithms can ask who their graph neighbours are.
+    """
+
+    #: human-readable model name
+    name: str = "abstract"
+    #: whether every message of a vertex in a round must be identical
+    broadcast_only: bool = False
+    #: whether communication is restricted to input-graph edges
+    edge_restricted: bool = True
+
+    def __init__(self, adjacency: Mapping[int, Set[int]]):
+        self._adjacency: Dict[int, Set[int]] = {
+            v: set(neighbours) for v, neighbours in adjacency.items()
+        }
+        self._vertices = sorted(self._adjacency)
+
+    @property
+    def vertices(self) -> Iterable[int]:
+        """All vertex identifiers, sorted."""
+        return list(self._vertices)
+
+    @property
+    def n(self) -> int:
+        """Number of vertices in the network."""
+        return len(self._vertices)
+
+    def graph_neighbours(self, v: int) -> Set[int]:
+        """Neighbours of ``v`` in the *input graph*."""
+        return set(self._adjacency[v])
+
+    @abstractmethod
+    def communication_neighbours(self, v: int) -> Set[int]:
+        """Vertices that ``v`` may address in one round."""
+
+    def validate_send(self, sender: int, recipients: Set[int], distinct_payloads: bool) -> None:
+        """Raise ``ValueError`` if a send violates the model's constraints."""
+        allowed = self.communication_neighbours(sender)
+        illegal = recipients - allowed
+        if illegal:
+            raise ValueError(
+                f"model {self.name}: vertex {sender} may not send to {sorted(illegal)}"
+            )
+        if self.broadcast_only and distinct_payloads:
+            raise ValueError(
+                f"model {self.name}: vertex {sender} attempted distinct per-neighbour "
+                "messages, but the broadcast constraint requires a single message"
+            )
+
+
+class CongestModel(Model):
+    """CONGEST: per-edge messages of O(log n) bits, distinct per neighbour."""
+
+    name = "CONGEST"
+    broadcast_only = False
+    edge_restricted = True
+
+    def communication_neighbours(self, v: int) -> Set[int]:
+        return set(self._adjacency[v])
+
+
+class BroadcastCongestModel(Model):
+    """Broadcast CONGEST: one message per vertex per round, sent to all neighbours."""
+
+    name = "Broadcast CONGEST"
+    broadcast_only = True
+    edge_restricted = True
+
+    def communication_neighbours(self, v: int) -> Set[int]:
+        return set(self._adjacency[v])
+
+
+class CongestedCliqueModel(Model):
+    """Congested Clique: all-to-all, distinct O(log n)-bit messages per pair."""
+
+    name = "Congested Clique"
+    broadcast_only = False
+    edge_restricted = False
+
+    def communication_neighbours(self, v: int) -> Set[int]:
+        return {u for u in self._vertices if u != v}
+
+
+class BroadcastCongestedCliqueModel(Model):
+    """Broadcast Congested Clique: one O(log n)-bit message per vertex per round,
+    visible to every other vertex (the shared-blackboard view of [DKO12])."""
+
+    name = "Broadcast Congested Clique"
+    broadcast_only = True
+    edge_restricted = False
+
+    def communication_neighbours(self, v: int) -> Set[int]:
+        return {u for u in self._vertices if u != v}
+
+
+MODEL_REGISTRY = {
+    "congest": CongestModel,
+    "broadcast-congest": BroadcastCongestModel,
+    "congested-clique": CongestedCliqueModel,
+    "broadcast-congested-clique": BroadcastCongestedCliqueModel,
+    "bcc": BroadcastCongestedCliqueModel,
+    "bc": BroadcastCongestModel,
+}
+
+
+def make_model(name: str, adjacency: Mapping[int, Set[int]]) -> Model:
+    """Instantiate a model by name (``congest``, ``bc``, ``congested-clique``, ``bcc``)."""
+    key = name.strip().lower()
+    if key not in MODEL_REGISTRY:
+        raise ValueError(f"unknown model {name!r}; choose from {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[key](adjacency)

@@ -1,0 +1,160 @@
+"""Synchronous network simulator executing :class:`VertexAlgorithm` programs.
+
+The simulator enforces the model's constraints (who may talk to whom, the
+broadcast constraint) and measures the three quantities the paper cares about:
+
+* **rounds** -- the main metric of the models in Section 2.1.  A message whose
+  payload does not fit in one ``Theta(log n)``-bit word is charged as multiple
+  rounds (the per-round maximum over all vertices of the number of words any
+  vertex needs to ship), matching how Lemma 3.2 charges ``1 + log W / log n``
+  rounds per spanner message.
+* **messages** -- total number of (logical) messages delivered.
+* **bits** -- total payload bits shipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Set
+
+from repro.congest.messages import Message, message_size_words
+from repro.congest.models import Model
+from repro.congest.vertex import VertexAlgorithm, VertexContext
+
+
+@dataclass
+class NetworkMetrics:
+    """Counters accumulated while executing a distributed algorithm."""
+
+    rounds: int = 0
+    logical_rounds: int = 0
+    messages: int = 0
+    bits: int = 0
+    broadcasts: int = 0
+    max_words_in_round: List[int] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "rounds": self.rounds,
+            "logical_rounds": self.logical_rounds,
+            "messages": self.messages,
+            "bits": self.bits,
+            "broadcasts": self.broadcasts,
+        }
+
+
+class Network:
+    """Synchronous executor for a :class:`VertexAlgorithm` under a :class:`Model`.
+
+    Parameters
+    ----------
+    model:
+        Communication model instance (already bound to the input adjacency).
+    charge_message_words:
+        If True (default), a logical round in which some vertex ships a
+        ``w``-word message is charged as ``w`` model rounds.  Set to False to
+        count logical rounds only.
+    """
+
+    def __init__(self, model: Model, charge_message_words: bool = True):
+        self.model = model
+        self.charge_message_words = charge_message_words
+        self.metrics = NetworkMetrics()
+        self._inboxes: Dict[int, List[Message]] = {v: [] for v in model.vertices}
+
+    @property
+    def n(self) -> int:
+        return self.model.n
+
+    def run(self, algorithm: VertexAlgorithm, max_rounds: int = 1_000_000) -> NetworkMetrics:
+        """Execute ``algorithm`` to completion and return the metrics."""
+        vertices = list(self.model.vertices)
+
+        # Round 0: local initialisation, no communication.
+        for v in vertices:
+            ctx = self._make_context(v)
+            algorithm.initialize(ctx)
+            self._stash_outgoing(v, ctx)
+        self._deliver()
+
+        round_number = 0
+        while True:
+            round_number += 1
+            if round_number > max_rounds:
+                raise RuntimeError(
+                    f"algorithm did not terminate within {max_rounds} rounds"
+                )
+            contexts: Dict[int, VertexContext] = {}
+            for v in vertices:
+                ctx = self._make_context(v)
+                algorithm.round(ctx, round_number)
+                contexts[v] = ctx
+            words_this_round = self._stash_all(contexts)
+            delivered = self._deliver()
+
+            self.metrics.logical_rounds += 1
+            charge = max(1, words_this_round) if self.charge_message_words else 1
+            if delivered == 0 and words_this_round == 0:
+                # a purely-local round still counts as one round of the model
+                charge = 1
+            self.metrics.rounds += charge
+            self.metrics.max_words_in_round.append(words_this_round)
+
+            if delivered == 0 and all(algorithm.is_finished(v) for v in vertices):
+                break
+        return self.metrics
+
+    # -- internals -----------------------------------------------------------
+
+    def _make_context(self, v: int) -> VertexContext:
+        inbox = self._inboxes[v]
+        self._inboxes[v] = []
+        return VertexContext(
+            vertex=v,
+            neighbours=self.model.graph_neighbours(v),
+            comm_neighbours=self.model.communication_neighbours(v),
+            inbox=inbox,
+            broadcast_only=self.model.broadcast_only,
+        )
+
+    def _stash_all(self, contexts: Mapping[int, VertexContext]) -> int:
+        """Validate and queue all outgoing messages; return max words per sender."""
+        max_words = 0
+        self._pending = {v: [] for v in self.model.vertices}
+        for v, ctx in contexts.items():
+            words = self._stash_outgoing(v, ctx)
+            max_words = max(max_words, words)
+        return max_words
+
+    def _stash_outgoing(self, v: int, ctx: VertexContext) -> int:
+        if not hasattr(self, "_pending"):
+            self._pending = {u: [] for u in self.model.vertices}
+        outgoing = ctx.collect_outgoing()
+        if not outgoing:
+            return 0
+        recipients = set(outgoing)
+        distinct = len({repr(p) for p in outgoing.values()}) > 1
+        self.model.validate_send(v, recipients, distinct_payloads=distinct)
+        max_words = 0
+        if ctx.did_broadcast():
+            self.metrics.broadcasts += 1
+        for recipient, payload in outgoing.items():
+            msg = Message(sender=v, payload=payload)
+            words = message_size_words(payload, self.n)
+            max_words = max(max_words, words)
+            self.metrics.messages += 1
+            self.metrics.bits += msg.size_bits(self.n)
+            self._pending[recipient].append(msg)
+        return max_words
+
+    def _deliver(self) -> int:
+        """Move pending messages into inboxes; return number delivered."""
+        if not hasattr(self, "_pending"):
+            return 0
+        delivered = 0
+        for recipient, messages in self._pending.items():
+            if messages:
+                self._inboxes[recipient].extend(messages)
+                delivered += len(messages)
+        self._pending = {v: [] for v in self.model.vertices}
+        return delivered

@@ -1,0 +1,126 @@
+"""Per-vertex algorithm interface for the genuine message-passing simulation.
+
+A distributed algorithm is written as a :class:`VertexAlgorithm` subclass.  In
+every synchronous round the network calls :meth:`VertexAlgorithm.round` once per
+vertex with a :class:`VertexContext` that exposes
+
+* the vertex's identifier and its graph neighbours,
+* the messages received at the *start* of the round (sent in the previous one),
+* ``send``/``broadcast`` operations that are validated against the model.
+
+The contract matches Section 2.1: at the start of a round each vertex sends,
+then receives, then performs unlimited local computation before the next round.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional, Set
+
+from repro.congest.messages import Message
+
+
+class VertexContext:
+    """Interface through which a vertex interacts with the network in one round."""
+
+    def __init__(
+        self,
+        vertex: int,
+        neighbours: Set[int],
+        comm_neighbours: Set[int],
+        inbox: List[Message],
+        broadcast_only: bool,
+    ):
+        self.vertex = vertex
+        self._neighbours = set(neighbours)
+        self._comm_neighbours = set(comm_neighbours)
+        self._inbox = list(inbox)
+        self._broadcast_only = broadcast_only
+        self._outbox: Dict[int, Any] = {}
+        self._broadcast_payload: Any = None
+        self._has_broadcast = False
+
+    @property
+    def neighbours(self) -> Set[int]:
+        """Graph neighbours of this vertex."""
+        return set(self._neighbours)
+
+    @property
+    def inbox(self) -> List[Message]:
+        """Messages received at the start of this round."""
+        return list(self._inbox)
+
+    def messages_from(self, sender: int) -> List[Message]:
+        """Messages in the inbox that were sent by ``sender``."""
+        return [m for m in self._inbox if m.sender == sender]
+
+    def send(self, recipient: int, payload: Any) -> None:
+        """Queue a unicast message to ``recipient`` for delivery next round."""
+        if self._broadcast_only:
+            raise ValueError(
+                f"vertex {self.vertex}: unicast send() is not allowed under the "
+                "broadcast constraint; use broadcast()"
+            )
+        if recipient not in self._comm_neighbours:
+            raise ValueError(
+                f"vertex {self.vertex} may not send to {recipient} in this model"
+            )
+        if recipient in self._outbox:
+            raise ValueError(
+                f"vertex {self.vertex} already queued a message to {recipient} this round"
+            )
+        self._outbox[recipient] = payload
+
+    def broadcast(self, payload: Any) -> None:
+        """Queue one message for delivery to *all* communication neighbours."""
+        if self._has_broadcast:
+            raise ValueError(
+                f"vertex {self.vertex} already broadcast a message this round"
+            )
+        self._broadcast_payload = payload
+        self._has_broadcast = True
+
+    # -- used by the network ------------------------------------------------
+
+    def collect_outgoing(self) -> Dict[int, Any]:
+        """Materialise the per-recipient payload map for this round."""
+        outgoing: Dict[int, Any] = dict(self._outbox)
+        if self._has_broadcast:
+            for u in self._comm_neighbours:
+                if u in outgoing:
+                    raise ValueError(
+                        f"vertex {self.vertex} both unicast to {u} and broadcast this round"
+                    )
+                outgoing[u] = self._broadcast_payload
+        return outgoing
+
+    def did_broadcast(self) -> bool:
+        return self._has_broadcast
+
+    def broadcast_payload(self) -> Any:
+        return self._broadcast_payload
+
+
+class VertexAlgorithm(ABC):
+    """Base class for per-vertex distributed algorithms.
+
+    Subclasses implement :meth:`initialize` (round 0 local setup), :meth:`round`
+    (one synchronous round) and :meth:`is_finished`.  The algorithm terminates
+    when every vertex reports it is finished and no messages are in flight.
+    """
+
+    @abstractmethod
+    def initialize(self, ctx: VertexContext) -> None:
+        """Local initialisation before the first communication round."""
+
+    @abstractmethod
+    def round(self, ctx: VertexContext, round_number: int) -> None:
+        """Execute one synchronous round for this vertex."""
+
+    @abstractmethod
+    def is_finished(self, vertex: int) -> bool:
+        """Whether this vertex has terminated."""
+
+    def result(self, vertex: int) -> Optional[Any]:
+        """Local output of ``vertex`` (override in subclasses)."""
+        return None

@@ -1,0 +1,88 @@
+"""Facade functions over the subsystem packages."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.flow.mincostflow import MinCostFlowResult
+from repro.flow.mincostflow import min_cost_max_flow as _min_cost_max_flow
+from repro.graphs.digraph import FlowNetwork
+from repro.graphs.graph import WeightedGraph
+from repro.lp.barrier_ipm import BarrierIPM
+from repro.lp.lee_sidford import LeeSidfordSolver
+from repro.lp.problem import LPProblem, LPSolution
+from repro.solvers.laplacian import BCCLaplacianSolver, LaplacianSolveReport
+from repro.spanners.probabilistic import SpannerResult, probabilistic_spanner
+from repro.sparsify.spectral import SparsifierResult, spectral_sparsify
+
+
+def spanner(
+    graph: WeightedGraph,
+    k: int = 2,
+    probabilities: Optional[Dict[Tuple[int, int], float]] = None,
+    seed: Optional[int] = None,
+) -> SpannerResult:
+    """Compute a ``(2k-1)``-spanner with probabilistic edges (Section 3.1).
+
+    With ``probabilities=None`` this is a plain Baswana-Sen-style spanner; with
+    probabilities the result partitions the decided edges into ``F+`` and
+    ``F-`` as required by the sparsification framework.
+    """
+    return probabilistic_spanner(graph, probabilities=probabilities, k=k, seed=seed)
+
+
+def spectral_sparsifier(
+    graph: WeightedGraph,
+    eps: float = 0.5,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> SparsifierResult:
+    """Compute a ``(1 +/- eps)``-spectral sparsifier in the Broadcast CONGEST
+    model (Theorem 1.2).  Extra keyword arguments are experiment knobs
+    (``t_override``, ``bundle_scale``, ``k_override``)."""
+    return spectral_sparsify(graph, eps=eps, seed=seed, **kwargs)
+
+
+def solve_laplacian(
+    graph: WeightedGraph,
+    b: np.ndarray,
+    eps: float = 1e-6,
+    seed: Optional[int] = None,
+    solver: Optional[BCCLaplacianSolver] = None,
+    **kwargs,
+) -> LaplacianSolveReport:
+    """Solve ``L_G x = b`` up to relative error ``eps`` in the ``L_G``-norm
+    (Theorem 1.3).  Pass an existing :class:`BCCLaplacianSolver` to reuse its
+    preprocessing across right-hand sides."""
+    if solver is None:
+        solver = BCCLaplacianSolver(graph, seed=seed, **kwargs)
+    return solver.solve(b, eps=eps)
+
+
+def solve_lp(
+    problem: LPProblem,
+    x0: np.ndarray,
+    eps: float = 1e-6,
+    engine: str = "barrier",
+    seed: Optional[int] = None,
+    **kwargs,
+) -> LPSolution:
+    """Solve ``min c^T x, A^T x = b, l <= x <= u`` from the interior point ``x0``
+    (Theorem 1.4).  ``engine`` selects the robust log-barrier IPM (default) or
+    the faithful Lee-Sidford weighted path following (``"lee-sidford"``)."""
+    if engine == "barrier":
+        return BarrierIPM(problem, **kwargs).solve(x0, eps=eps)
+    if engine == "lee-sidford":
+        return LeeSidfordSolver(problem, seed=seed, **kwargs).solve(x0, eps=eps)
+    raise ValueError(f"unknown engine {engine!r}; use 'barrier' or 'lee-sidford'")
+
+
+def min_cost_max_flow(
+    network: FlowNetwork,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> MinCostFlowResult:
+    """Exact minimum cost maximum ``s``-``t`` flow (Theorem 1.1)."""
+    return _min_cost_max_flow(network, seed=seed, **kwargs)

@@ -1,0 +1,205 @@
+"""Exact combinatorial flow baselines.
+
+These centralised algorithms serve two purposes: they are the ground truth the
+LP-based pipeline of Theorem 1.1 is verified against, and they are the
+comparators of benchmark E5.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.digraph import FlowNetwork
+
+EdgeKey = Tuple[int, int]
+
+
+def _split_antiparallel(network: FlowNetwork) -> Tuple[FlowNetwork, Dict[EdgeKey, Tuple[EdgeKey, Optional[EdgeKey]]]]:
+    """Remove anti-parallel edge pairs by routing one of them through a new vertex.
+
+    Residual-graph algorithms index arcs by ordered vertex pairs, so a pair
+    ``(u, v)`` / ``(v, u)`` of opposite edges would collide.  For every such
+    pair the lexicographically larger edge ``(v, u)`` is replaced by
+    ``(v, w), (w, u)`` through a fresh vertex ``w``.  Returns the transformed
+    network and, for every original edge, the arc(s) that carry its flow.
+    """
+    keys = set(network.edge_keys())
+    conflicts = {(u, v) for (u, v) in keys if (v, u) in keys and u < v}
+    if not conflicts:
+        mapping = {key: (key, None) for key in keys}
+        return network, mapping
+
+    extra = len(conflicts)
+    split = FlowNetwork(network.n + extra, network.source, network.sink)
+    mapping: Dict[EdgeKey, Tuple[EdgeKey, Optional[EdgeKey]]] = {}
+    next_vertex = network.n
+    to_split = {(v, u) for (u, v) in conflicts}
+    for edge in network.edges():
+        key = (edge.u, edge.v)
+        if key in to_split:
+            w = next_vertex
+            next_vertex += 1
+            split.add_edge(edge.u, w, edge.capacity, edge.cost)
+            split.add_edge(w, edge.v, edge.capacity, 0.0)
+            mapping[key] = ((edge.u, w), (w, edge.v))
+        else:
+            split.add_edge(edge.u, edge.v, edge.capacity, edge.cost)
+            mapping[key] = (key, None)
+    return split, mapping
+
+
+def _map_back(
+    network: FlowNetwork,
+    mapping: Dict[EdgeKey, Tuple[EdgeKey, Optional[EdgeKey]]],
+    split_flow: Dict[EdgeKey, float],
+) -> Dict[EdgeKey, float]:
+    """Translate a flow on the split network back to the original edges."""
+    return {
+        key: float(split_flow.get(primary, 0.0))
+        for key, (primary, _secondary) in mapping.items()
+        if network.has_edge(*key)
+    }
+
+
+def edmonds_karp_max_flow(network: FlowNetwork) -> Tuple[float, Dict[EdgeKey, float]]:
+    """Maximum ``s``-``t`` flow via BFS augmenting paths (Edmonds-Karp).
+
+    Returns ``(value, flow)`` with ``flow`` keyed by the network's edge pairs.
+    """
+    original = network
+    network, mapping = _split_antiparallel(network)
+    n = network.n
+    source, sink = network.source, network.sink
+    # residual capacities over ordered pairs (original + reverse arcs)
+    residual: Dict[EdgeKey, float] = {}
+    for edge in network.edges():
+        residual[(edge.u, edge.v)] = residual.get((edge.u, edge.v), 0.0) + edge.capacity
+        residual.setdefault((edge.v, edge.u), 0.0)
+    adjacency: Dict[int, set] = {v: set() for v in range(n)}
+    for (u, v) in residual:
+        adjacency[u].add(v)
+
+    flow_value = 0.0
+    while True:
+        # BFS for a shortest augmenting path
+        parent: Dict[int, Optional[int]] = {source: source}
+        queue = deque([source])
+        while queue and sink not in parent:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                if v not in parent and residual[(u, v)] > 1e-12:
+                    parent[v] = u
+                    queue.append(v)
+        if sink not in parent:
+            break
+        # bottleneck
+        bottleneck = float("inf")
+        v = sink
+        while v != source:
+            u = parent[v]
+            bottleneck = min(bottleneck, residual[(u, v)])
+            v = u
+        v = sink
+        while v != source:
+            u = parent[v]
+            residual[(u, v)] -= bottleneck
+            residual[(v, u)] += bottleneck
+            v = u
+        flow_value += bottleneck
+
+    flow: Dict[EdgeKey, float] = {}
+    for edge in network.edges():
+        used = edge.capacity - residual[(edge.u, edge.v)]
+        flow[(edge.u, edge.v)] = float(min(edge.capacity, max(0.0, used)))
+    return flow_value, _map_back(original, mapping, flow)
+
+
+def successive_shortest_paths(
+    network: FlowNetwork, target_value: Optional[float] = None
+) -> Tuple[float, float, Dict[EdgeKey, float]]:
+    """Exact minimum-cost flow of maximum (or given) value.
+
+    Uses Bellman-Ford shortest augmenting paths on the residual graph (costs
+    may become negative on reverse arcs), which is exact for integral
+    capacities.  Returns ``(value, cost, flow)``.
+    """
+    original = network
+    network, mapping = _split_antiparallel(network)
+    source, sink, n = network.source, network.sink, network.n
+    capacity: Dict[EdgeKey, float] = {}
+    cost: Dict[EdgeKey, float] = {}
+    for edge in network.edges():
+        capacity[(edge.u, edge.v)] = capacity.get((edge.u, edge.v), 0.0) + edge.capacity
+        cost[(edge.u, edge.v)] = edge.cost
+        capacity.setdefault((edge.v, edge.u), 0.0)
+        cost.setdefault((edge.v, edge.u), -edge.cost)
+    adjacency: Dict[int, set] = {v: set() for v in range(n)}
+    for (u, v) in capacity:
+        adjacency[u].add(v)
+
+    flow: Dict[EdgeKey, float] = {key: 0.0 for key in capacity}
+    value = 0.0
+    remaining = float("inf") if target_value is None else float(target_value)
+
+    while remaining > 1e-12:
+        # Bellman-Ford from the source on the residual graph
+        dist = {v: float("inf") for v in range(n)}
+        parent: Dict[int, Optional[int]] = {v: None for v in range(n)}
+        dist[source] = 0.0
+        for _ in range(n - 1):
+            updated = False
+            for (u, v), cap in capacity.items():
+                if cap - flow[(u, v)] > 1e-12 and dist[u] + cost[(u, v)] < dist[v] - 1e-15:
+                    dist[v] = dist[u] + cost[(u, v)]
+                    parent[v] = u
+                    updated = True
+            if not updated:
+                break
+        if not np.isfinite(dist[sink]):
+            break
+        # bottleneck along the path
+        bottleneck = remaining
+        v = sink
+        while v != source:
+            u = parent[v]
+            bottleneck = min(bottleneck, capacity[(u, v)] - flow[(u, v)])
+            v = u
+        v = sink
+        while v != source:
+            u = parent[v]
+            flow[(u, v)] += bottleneck
+            flow[(v, u)] -= bottleneck
+            v = u
+        value += bottleneck
+        if target_value is not None:
+            remaining -= bottleneck
+
+    split_flow: Dict[EdgeKey, float] = {}
+    for edge in network.edges():
+        f = max(0.0, flow[(edge.u, edge.v)])
+        split_flow[(edge.u, edge.v)] = float(min(f, edge.capacity))
+    result_flow = _map_back(original, mapping, split_flow)
+    return float(value), float(original.flow_cost(result_flow)), result_flow
+
+
+def networkx_min_cost_max_flow(
+    network: FlowNetwork,
+) -> Tuple[float, float, Dict[EdgeKey, float]]:
+    """networkx's ``max_flow_min_cost`` as an independent exact reference."""
+    import networkx as nx
+
+    graph = network.to_networkx()
+    flow_dict = nx.max_flow_min_cost(graph, network.source, network.sink)
+    flow: Dict[EdgeKey, float] = {}
+    for u, targets in flow_dict.items():
+        for v, f in targets.items():
+            if network.has_edge(u, v):
+                flow[(u, v)] = float(f)
+    for key in network.edge_keys():
+        flow.setdefault(key, 0.0)
+    value = network.flow_value(flow)
+    cost = network.flow_cost(flow)
+    return float(value), float(cost), flow

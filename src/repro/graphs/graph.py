@@ -1,0 +1,290 @@
+"""Weighted undirected graphs.
+
+The central data structure of Sections 2-3: an undirected graph with positive
+real edge weights, vertices identified by integers ``0..n-1`` (the integer
+doubles as the O(log n)-bit identifier of the corresponding processor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+
+def canonical_edge(u: int, v: int) -> Tuple[int, int]:
+    """Canonical (sorted) representation of an undirected edge."""
+    if u == v:
+        raise ValueError(f"self-loops are not allowed: ({u}, {v})")
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected weighted edge between ``u`` and ``v``."""
+
+    u: int
+    v: int
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if self.u == self.v:
+            raise ValueError(f"self-loops are not allowed: ({self.u}, {self.v})")
+        if self.weight <= 0:
+            raise ValueError(f"edge weights must be positive, got {self.weight}")
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Canonical (u, v) with u < v."""
+        return canonical_edge(self.u, self.v)
+
+    def other(self, vertex: int) -> int:
+        """The endpoint different from ``vertex``."""
+        if vertex == self.u:
+            return self.v
+        if vertex == self.v:
+            return self.u
+        raise ValueError(f"vertex {vertex} is not an endpoint of edge ({self.u}, {self.v})")
+
+
+class WeightedGraph:
+    """An undirected graph with positive edge weights.
+
+    Vertices are the integers ``0 .. n-1``.  Parallel edges are not allowed;
+    adding an existing edge overwrites its weight.
+    """
+
+    def __init__(self, n: int, edges: Optional[Iterable[Tuple[int, int, float]]] = None):
+        if n < 1:
+            raise ValueError(f"graph must have at least one vertex, got n={n}")
+        self._n = int(n)
+        self._weights: Dict[Tuple[int, int], float] = {}
+        self._adj: Dict[int, Set[int]] = {v: set() for v in range(self._n)}
+        if edges is not None:
+            for u, v, w in edges:
+                self.add_edge(u, v, w)
+
+    # -- construction ---------------------------------------------------------
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add (or overwrite) the undirected edge ``{u, v}`` with ``weight``."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if weight <= 0:
+            raise ValueError(f"edge weights must be positive, got {weight}")
+        key = canonical_edge(u, v)
+        self._weights[key] = float(weight)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the edge ``{u, v}``; raises ``KeyError`` if absent."""
+        key = canonical_edge(u, v)
+        del self._weights[key]
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def copy(self) -> "WeightedGraph":
+        """Deep copy of this graph."""
+        g = WeightedGraph(self._n)
+        g._weights = dict(self._weights)
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        return g
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Tuple[int, int, float]]) -> "WeightedGraph":
+        """Build a graph on ``n`` vertices from ``(u, v, weight)`` triples."""
+        return cls(n, edges)
+
+    @classmethod
+    def from_networkx(cls, graph) -> "WeightedGraph":
+        """Convert a networkx graph (weights default to 1.0)."""
+        mapping = {node: i for i, node in enumerate(sorted(graph.nodes()))}
+        g = cls(graph.number_of_nodes())
+        for u, v, data in graph.edges(data=True):
+            g.add_edge(mapping[u], mapping[v], float(data.get("weight", 1.0)))
+        return g
+
+    def to_networkx(self):
+        """Convert to a networkx.Graph with ``weight`` attributes."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self._n))
+        for (u, v), w in self._weights.items():
+            graph.add_edge(u, v, weight=w)
+        return graph
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self._weights)
+
+    def vertices(self) -> range:
+        """Iterable over vertex identifiers."""
+        return range(self._n)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges in canonical order."""
+        for (u, v) in sorted(self._weights):
+            yield Edge(u, v, self._weights[(u, v)])
+
+    def edge_list(self) -> List[Tuple[int, int, float]]:
+        """All edges as sorted ``(u, v, weight)`` triples with ``u < v``."""
+        return [(u, v, self._weights[(u, v)]) for (u, v) in sorted(self._weights)]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``{u, v}`` exists."""
+        if u == v:
+            return False
+        return canonical_edge(u, v) in self._weights
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of the edge ``{u, v}``; raises ``KeyError`` if absent."""
+        return self._weights[canonical_edge(u, v)]
+
+    def neighbours(self, v: int) -> Set[int]:
+        """Neighbours of ``v``."""
+        self._check_vertex(v)
+        return set(self._adj[v])
+
+    def degree(self, v: int) -> int:
+        """Number of edges incident to ``v``."""
+        self._check_vertex(v)
+        return len(self._adj[v])
+
+    def weighted_degree(self, v: int) -> float:
+        """Sum of the weights of edges incident to ``v``."""
+        self._check_vertex(v)
+        return float(sum(self._weights[canonical_edge(v, u)] for u in self._adj[v]))
+
+    def max_weight(self) -> float:
+        """Largest edge weight (``||w||_inf``), or 0.0 for an empty graph."""
+        if not self._weights:
+            return 0.0
+        return float(max(self._weights.values()))
+
+    def min_weight(self) -> float:
+        """Smallest edge weight, or 0.0 for an empty graph."""
+        if not self._weights:
+            return 0.0
+        return float(min(self._weights.values()))
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return float(sum(self._weights.values()))
+
+    def adjacency_dict(self) -> Dict[int, Set[int]]:
+        """Copy of the adjacency structure (used to build model topologies)."""
+        return {v: set(nbrs) for v, nbrs in self._adj.items()}
+
+    # -- structure -------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (single-vertex graphs count as connected)."""
+        if self._n <= 1:
+            return True
+        seen = {0}
+        stack = [0]
+        while stack:
+            v = stack.pop()
+            for u in self._adj[v]:
+                if u not in seen:
+                    seen.add(u)
+                    stack.append(u)
+        return len(seen) == self._n
+
+    def connected_components(self) -> List[Set[int]]:
+        """List of vertex sets, one per connected component."""
+        seen: Set[int] = set()
+        components: List[Set[int]] = []
+        for start in range(self._n):
+            if start in seen:
+                continue
+            component = {start}
+            stack = [start]
+            seen.add(start)
+            while stack:
+                v = stack.pop()
+                for u in self._adj[v]:
+                    if u not in seen:
+                        seen.add(u)
+                        component.add(u)
+                        stack.append(u)
+            components.append(component)
+        return components
+
+    def subgraph_with_edges(self, edge_keys: Iterable[Tuple[int, int]]) -> "WeightedGraph":
+        """Subgraph on the same vertex set containing exactly ``edge_keys``."""
+        g = WeightedGraph(self._n)
+        for (u, v) in edge_keys:
+            g.add_edge(u, v, self.weight(u, v))
+        return g
+
+    def reweighted(self, weights: Dict[Tuple[int, int], float]) -> "WeightedGraph":
+        """Graph with the same edges but weights overridden by ``weights``."""
+        g = WeightedGraph(self._n)
+        for (u, v), w in self._weights.items():
+            g.add_edge(u, v, weights.get((u, v), w))
+        return g
+
+    # -- distances -------------------------------------------------------------
+
+    def shortest_path_lengths_from(self, source: int) -> Dict[int, float]:
+        """Dijkstra distances from ``source`` (inf for unreachable vertices)."""
+        import heapq
+
+        self._check_vertex(source)
+        dist = {v: float("inf") for v in range(self._n)}
+        dist[source] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, v = heapq.heappop(heap)
+            if d > dist[v]:
+                continue
+            for u in self._adj[v]:
+                nd = d + self._weights[canonical_edge(u, v)]
+                if nd < dist[u]:
+                    dist[u] = nd
+                    heapq.heappush(heap, (nd, u))
+        return dist
+
+    def all_pairs_shortest_paths(self) -> np.ndarray:
+        """Dense matrix of all-pairs shortest path distances."""
+        dist = np.full((self._n, self._n), np.inf)
+        for s in range(self._n):
+            lengths = self.shortest_path_lengths_from(s)
+            for v, d in lengths.items():
+                dist[s, v] = d
+        return dist
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __contains__(self, edge: Tuple[int, int]) -> bool:
+        u, v = edge
+        return self.has_edge(u, v)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedGraph):
+            return NotImplemented
+        return self._n == other._n and self._weights == other._weights
+
+    def __hash__(self):  # graphs are mutable; keep them unhashable
+        raise TypeError("WeightedGraph is not hashable")
+
+    def __repr__(self) -> str:
+        return f"WeightedGraph(n={self._n}, m={self.m})"
+
+    # -- internals --------------------------------------------------------------
+
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < self._n):
+            raise ValueError(f"vertex {v} out of range [0, {self._n})")

@@ -1,0 +1,166 @@
+"""Laplacian and incidence matrices, spectral comparisons (Section 2.2).
+
+The Laplacian of a weighted graph ``G = (V, E, w)`` is ``L = B^T W B`` where
+``B`` is the edge-vertex incidence matrix and ``W`` the diagonal weight matrix.
+A reweighted subgraph ``H`` is a ``(1 +/- eps)``-spectral sparsifier of ``G``
+when ``(1-eps) x^T L_H x <= x^T L_G x <= (1+eps) x^T L_H x`` for all ``x``
+(Definition 2.1).  The helpers below verify that relation via generalised
+eigenvalues restricted to the space orthogonal to the all-ones kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+
+
+def laplacian_matrix(graph: WeightedGraph) -> np.ndarray:
+    """Dense Laplacian matrix ``L`` of ``graph`` (Section 2.2)."""
+    n = graph.n
+    L = np.zeros((n, n))
+    for edge in graph.edges():
+        u, v, w = edge.u, edge.v, edge.weight
+        L[u, u] += w
+        L[v, v] += w
+        L[u, v] -= w
+        L[v, u] -= w
+    return L
+
+
+def incidence_matrix(graph: WeightedGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """Edge-vertex incidence matrix ``B`` (m x n) and weight vector ``w``.
+
+    Edge orientation is from the smaller to the larger endpoint id (head = the
+    larger id), which is immaterial for ``L = B^T W B``.
+    """
+    n, m = graph.n, graph.m
+    B = np.zeros((m, n))
+    w = np.zeros(m)
+    for i, edge in enumerate(graph.edges()):
+        u, v = edge.key
+        B[i, v] = 1.0
+        B[i, u] = -1.0
+        w[i] = edge.weight
+    return B, w
+
+
+def laplacian_quadratic_form(graph: WeightedGraph, x: np.ndarray) -> float:
+    """``x^T L_G x = sum_{(u,v) in E} w(u,v) (x_u - x_v)^2`` without forming L."""
+    x = np.asarray(x, dtype=float)
+    total = 0.0
+    for edge in graph.edges():
+        diff = x[edge.u] - x[edge.v]
+        total += edge.weight * diff * diff
+    return float(total)
+
+
+def laplacian_pseudoinverse(graph: WeightedGraph) -> np.ndarray:
+    """Moore-Penrose pseudoinverse of the Laplacian (dense; for verification)."""
+    return np.linalg.pinv(laplacian_matrix(graph))
+
+
+def laplacian_norm(L: np.ndarray, x: np.ndarray) -> float:
+    """The ``||x||_L = sqrt(x^T L x)`` norm used in Theorems 1.3 and 2.3."""
+    x = np.asarray(x, dtype=float)
+    value = float(x @ (L @ x))
+    return float(np.sqrt(max(0.0, value)))
+
+
+def effective_resistances(graph: WeightedGraph) -> np.ndarray:
+    """Effective resistance of every edge (ordered as ``graph.edges()``)."""
+    Lplus = laplacian_pseudoinverse(graph)
+    resistances = np.zeros(graph.m)
+    for i, edge in enumerate(graph.edges()):
+        chi = np.zeros(graph.n)
+        chi[edge.u] = 1.0
+        chi[edge.v] = -1.0
+        resistances[i] = float(chi @ Lplus @ chi)
+    return resistances
+
+
+def _restricted_generalised_eigenvalues(
+    L_G: np.ndarray, L_H: np.ndarray, tol: float = 1e-9
+) -> np.ndarray:
+    """Eigenvalues of ``pinv(L_H) L_G`` restricted to the joint image space.
+
+    Both matrices are Laplacians of graphs on the same (connected) vertex set,
+    so their common kernel contains the all-ones vector; we project it out.
+    """
+    n = L_G.shape[0]
+    ones = np.ones((n, 1)) / np.sqrt(n)
+    projector = np.eye(n) - ones @ ones.T
+    A = projector @ L_G @ projector
+    B = projector @ L_H @ projector
+    # Work in the eigenbasis of B restricted to its image.
+    eigvals, eigvecs = np.linalg.eigh(B)
+    keep = eigvals > tol * max(1.0, float(np.max(np.abs(eigvals))))
+    if not np.any(keep):
+        return np.array([])
+    V = eigvecs[:, keep]
+    D_inv_sqrt = np.diag(1.0 / np.sqrt(eigvals[keep]))
+    M = D_inv_sqrt @ V.T @ A @ V @ D_inv_sqrt
+    return np.linalg.eigvalsh(M)
+
+
+def spectral_approximation_factor(
+    graph: WeightedGraph, sparsifier: WeightedGraph
+) -> Tuple[float, float]:
+    """Return ``(lambda_min, lambda_max)`` with ``lambda_min L_H <= L_G <= lambda_max L_H``.
+
+    A ``(1 +/- eps)``-sparsifier in the sense of Definition 2.1 has
+    ``lambda_min >= 1 - eps`` and ``lambda_max <= 1 + eps``.
+    """
+    if graph.n != sparsifier.n:
+        raise ValueError("graph and sparsifier must share the vertex set")
+    L_G = laplacian_matrix(graph)
+    L_H = laplacian_matrix(sparsifier)
+    eigs = _restricted_generalised_eigenvalues(L_G, L_H)
+    if eigs.size == 0:
+        return (1.0, 1.0)
+    return float(np.min(eigs)), float(np.max(eigs))
+
+
+def is_spectral_sparsifier(
+    graph: WeightedGraph,
+    sparsifier: WeightedGraph,
+    eps: float,
+    slack: float = 1e-7,
+) -> bool:
+    """Whether ``sparsifier`` is a ``(1 +/- eps)``-spectral sparsifier of ``graph``."""
+    lo, hi = spectral_approximation_factor(graph, sparsifier)
+    return lo >= 1.0 - eps - slack and hi <= 1.0 + eps + slack
+
+
+def relative_condition_number(graph: WeightedGraph, preconditioner: WeightedGraph) -> float:
+    """``kappa`` with ``A <= B <= kappa A`` as used in Theorem 2.3 (A = L_G, B ~ L_H)."""
+    lo, hi = spectral_approximation_factor(graph, preconditioner)
+    if lo <= 0:
+        return float("inf")
+    return float(hi / lo)
+
+
+def is_symmetric_diagonally_dominant(M: np.ndarray, tol: float = 1e-9) -> bool:
+    """Check that ``M`` is symmetric and (weakly) diagonally dominant."""
+    M = np.asarray(M, dtype=float)
+    if M.ndim != 2 or M.shape[0] != M.shape[1]:
+        return False
+    if not np.allclose(M, M.T, atol=tol):
+        return False
+    off_diag = np.sum(np.abs(M), axis=1) - np.abs(np.diag(M))
+    return bool(np.all(np.diag(M) >= off_diag - tol))
+
+
+def graph_from_laplacian(L: np.ndarray, tol: float = 1e-12) -> WeightedGraph:
+    """Reconstruct a weighted graph from a Laplacian matrix (for round-tripping)."""
+    L = np.asarray(L, dtype=float)
+    n = L.shape[0]
+    graph = WeightedGraph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            w = -L[u, v]
+            if w > tol:
+                graph.add_edge(u, v, float(w))
+    return graph

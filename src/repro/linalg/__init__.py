@@ -1,0 +1,55 @@
+"""Numerical linear-algebra toolkit of the LP solver (Section 4.1 and 4.3).
+
+* :mod:`repro.linalg.jl` -- Johnson-Lindenstrauss transforms: the classical
+  Achlioptas sign-matrix construction (needs m independent coins, infeasible in
+  a broadcast model) and the Kane-Nelson construction (Theorem 4.4) driven by a
+  polylogarithmic shared random seed.
+* :mod:`repro.linalg.leverage` -- leverage scores: exact computation and the
+  JL-sketched approximation ``ComputeLeverageScores`` (Algorithm 6, Lemma 4.5).
+* :mod:`repro.linalg.lewis` -- regularised ell_p Lewis weights: the exact
+  fixed-point reference and ``ComputeApxWeights`` / ``ComputeInitialWeights``
+  (Algorithms 7 and 8, Lemma 4.6).
+* :mod:`repro.linalg.mixed_ball` -- projection onto the mixed norm ball
+  ``||x||_2 + ||l^{-1} x||_inf <= 1`` (Section 4.3, Lemma 4.10): the BCC
+  binary-search algorithm and a dense reference maximiser.
+"""
+
+from repro.linalg.jl import (
+    achlioptas_matrix,
+    kane_nelson_matrix,
+    kane_nelson_random_bits,
+    sketch_preserves_norm,
+)
+from repro.linalg.leverage import (
+    approximate_leverage_scores,
+    exact_leverage_scores,
+    LeverageScoreReport,
+)
+from repro.linalg.lewis import (
+    compute_apx_weights,
+    compute_initial_weights,
+    exact_lewis_weights,
+    regularized_lewis_weights,
+)
+from repro.linalg.mixed_ball import (
+    MixedBallResult,
+    project_mixed_ball,
+    project_mixed_ball_reference,
+)
+
+__all__ = [
+    "achlioptas_matrix",
+    "kane_nelson_matrix",
+    "kane_nelson_random_bits",
+    "sketch_preserves_norm",
+    "exact_leverage_scores",
+    "approximate_leverage_scores",
+    "LeverageScoreReport",
+    "exact_lewis_weights",
+    "regularized_lewis_weights",
+    "compute_apx_weights",
+    "compute_initial_weights",
+    "MixedBallResult",
+    "project_mixed_ball",
+    "project_mixed_ball_reference",
+]

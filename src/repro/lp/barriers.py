@@ -1,0 +1,136 @@
+"""Self-concordant barrier functions for box domains (Definition 4.1, Section 4.1).
+
+Each LP variable ``x_i`` lives in ``dom(x_i) = [l_i, u_i]`` with at least one
+finite endpoint; the paper attaches a 1-self-concordant barrier to each
+coordinate:
+
+* ``phi_i(x) = -log(x - l_i)``                        if only ``l_i`` is finite,
+* ``phi_i(x) = -log(u_i - x)``                        if only ``u_i`` is finite,
+* ``phi_i(x) = -log cos(a_i x + b_i)``                if both are finite, with
+  ``a_i = pi / (u_i - l_i)`` and ``b_i = -(pi/2) (u_i + l_i)/(u_i - l_i)``
+  (the trigonometric barrier).
+
+:class:`BarrierFunction` evaluates ``phi``, ``phi'`` and ``phi''``
+coordinate-wise; everything is local computation in the Broadcast Congested
+Clique because vertex ``i`` owns the coordinates whose rows of ``A`` it knows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class BarrierFunction:
+    """Coordinate-wise self-concordant barrier for the box ``[lower, upper]``."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self):
+        self.lower = np.asarray(self.lower, dtype=float)
+        self.upper = np.asarray(self.upper, dtype=float)
+        if self.lower.shape != self.upper.shape:
+            raise ValueError("lower and upper bounds must have the same shape")
+        if np.any(np.isinf(self.lower) & np.isinf(self.upper)):
+            raise ValueError(
+                "every coordinate needs at least one finite bound "
+                "(dom(x_i) must not be the whole real line)"
+            )
+        if np.any(self.upper <= self.lower):
+            raise ValueError("upper bounds must exceed lower bounds")
+        finite_both = np.isfinite(self.lower) & np.isfinite(self.upper)
+        self._both = finite_both
+        self._only_lower = np.isfinite(self.lower) & ~np.isfinite(self.upper)
+        self._only_upper = ~np.isfinite(self.lower) & np.isfinite(self.upper)
+        span = np.where(finite_both, self.upper - self.lower, 1.0)
+        self._a = np.where(finite_both, math.pi / span, 0.0)
+        self._b = np.where(
+            finite_both, -(math.pi / 2.0) * (self.upper + self.lower) / span, 0.0
+        )
+
+    @property
+    def m(self) -> int:
+        """Number of coordinates."""
+        return self.lower.shape[0]
+
+    def contains(self, x: np.ndarray, margin: float = 0.0) -> bool:
+        """Whether ``x`` lies strictly inside the box (with optional margin)."""
+        x = np.asarray(x, dtype=float)
+        return bool(np.all(x > self.lower + margin) and np.all(x < self.upper - margin))
+
+    def value(self, x: np.ndarray) -> np.ndarray:
+        """``phi_i(x_i)`` for every coordinate (``+inf`` outside the domain)."""
+        x = np.asarray(x, dtype=float)
+        out = np.full_like(x, np.inf)
+        ok = (x > self.lower) & (x < self.upper)
+
+        idx = self._only_lower & ok
+        out[idx] = -np.log(x[idx] - self.lower[idx])
+        idx = self._only_upper & ok
+        out[idx] = -np.log(self.upper[idx] - x[idx])
+        idx = self._both & ok
+        out[idx] = -np.log(np.cos(self._a[idx] * x[idx] + self._b[idx]))
+        return out
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        """``phi_i'(x_i)`` coordinate-wise."""
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        idx = self._only_lower
+        out[idx] = -1.0 / (x[idx] - self.lower[idx])
+        idx = self._only_upper
+        out[idx] = 1.0 / (self.upper[idx] - x[idx])
+        idx = self._both
+        out[idx] = self._a[idx] * np.tan(self._a[idx] * x[idx] + self._b[idx])
+        return out
+
+    def hessian(self, x: np.ndarray) -> np.ndarray:
+        """``phi_i''(x_i)`` coordinate-wise (always positive inside the domain)."""
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        idx = self._only_lower
+        out[idx] = 1.0 / (x[idx] - self.lower[idx]) ** 2
+        idx = self._only_upper
+        out[idx] = 1.0 / (self.upper[idx] - x[idx]) ** 2
+        idx = self._both
+        cos_term = np.cos(self._a[idx] * x[idx] + self._b[idx])
+        out[idx] = (self._a[idx] ** 2) / (cos_term ** 2)
+        return out
+
+    def total_value(self, x: np.ndarray) -> float:
+        """``sum_i phi_i(x_i)``."""
+        return float(np.sum(self.value(x)))
+
+    def analytic_center_start(self) -> np.ndarray:
+        """A point well inside the box (used to seed feasibility phases)."""
+        centre = np.zeros(self.m)
+        both = self._both
+        centre[both] = 0.5 * (self.lower[both] + self.upper[both])
+        centre[self._only_lower] = self.lower[self._only_lower] + 1.0
+        centre[self._only_upper] = self.upper[self._only_upper] - 1.0
+        return centre
+
+    def self_concordance_check(self, x: np.ndarray, h: Optional[np.ndarray] = None) -> bool:
+        """Numerically verify |D^3 phi[h,h,h]| <= 2 |D^2 phi[h,h]|^{3/2} at ``x``.
+
+        Used by the tests to validate Definition 4.1(2) for the implemented
+        barriers (coordinate-wise, so it suffices to check scalar directions).
+        """
+        x = np.asarray(x, dtype=float)
+        if not self.contains(x):
+            return False
+        h = np.ones_like(x) if h is None else np.asarray(h, dtype=float)
+        eps = 1e-5
+        d2 = self.hessian(x) * h * h
+        d3 = (self.hessian(x + eps * h) - self.hessian(x - eps * h)) / (2 * eps) * h * h * h
+        return bool(np.all(np.abs(d3) <= 2.0 * np.power(np.abs(d2), 1.5) + 1e-3 * (1 + np.abs(d3))))
+
+
+def make_barrier(lower: np.ndarray, upper: np.ndarray) -> BarrierFunction:
+    """Build the coordinate-wise barrier for the box ``[lower, upper]``."""
+    return BarrierFunction(lower=np.asarray(lower, dtype=float), upper=np.asarray(upper, dtype=float))

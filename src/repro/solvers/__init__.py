@@ -1,0 +1,29 @@
+"""Laplacian and SDD solvers (Sections 2.3, 3.3 and the reduction used in Section 5).
+
+* :mod:`repro.solvers.chebyshev` -- preconditioned Chebyshev iteration
+  (Theorem 2.3) and its specialisation to sparsifier preconditioners
+  (Corollary 2.4).
+* :mod:`repro.solvers.laplacian` -- the Broadcast Congested Clique Laplacian
+  solver of Theorem 1.3: preprocessing computes a (1 +/- 1/2)-spectral
+  sparsifier which every vertex learns, each solve then runs Chebyshev
+  iterations whose only communication is a matrix-vector product with the true
+  Laplacian per iteration.
+* :mod:`repro.solvers.sdd` -- the Gremban reduction from symmetric diagonally
+  dominant systems to Laplacian systems, needed for the ``A^T D A`` systems of
+  the flow LP (Lemma 5.1).
+"""
+
+from repro.solvers.chebyshev import ChebyshevReport, preconditioned_chebyshev
+from repro.solvers.laplacian import BCCLaplacianSolver, LaplacianSolveReport
+from repro.solvers.sdd import GrembanReduction, SDDSolver, gremban_expand, is_sdd_matrix
+
+__all__ = [
+    "preconditioned_chebyshev",
+    "ChebyshevReport",
+    "BCCLaplacianSolver",
+    "LaplacianSolveReport",
+    "GrembanReduction",
+    "SDDSolver",
+    "gremban_expand",
+    "is_sdd_matrix",
+]

@@ -1,0 +1,160 @@
+"""The classical Baswana-Sen ``(2k-1)``-spanner (Appendix A of the paper).
+
+This is the centralised reference the probabilistic spanner of Section 3.1 is
+proved against (Lemma 3.1: setting ``p === 1`` in the probabilistic algorithm
+reduces to this algorithm).  We follow the rephrased formulation of Becker et
+al. reproduced in Appendix A:
+
+1. ``R_1`` is the set of singleton clusters.
+2. For phases ``i = 1 .. k-1``: every cluster of ``R_i`` is marked
+   independently with probability ``n^{-1/k}``; marked clusters form
+   ``R_{i+1}``.  A vertex ``v`` of an unmarked cluster looks at the lightest
+   edge towards every adjacent cluster of ``R_i`` (the set ``Q_v``):
+
+   * if no adjacent cluster is marked, all of ``Q_v`` joins the spanner and
+     ``v`` leaves the clustering;
+   * otherwise ``v`` joins the nearest marked cluster through edge ``(v, u)``,
+     adds that edge and every edge of ``Q_v`` lighter than ``w(v, u)`` (ties by
+     identifier) to the spanner.
+
+3. Finally every vertex adds the lightest edge towards every adjacent cluster
+   of ``R_k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph, canonical_edge
+
+
+@dataclass
+class BaswanaSenResult:
+    """Output of the Baswana-Sen algorithm."""
+
+    spanner_edges: Set[Tuple[int, int]] = field(default_factory=set)
+    clusters_per_phase: List[Dict[int, int]] = field(default_factory=list)
+
+    def spanner_graph(self, graph: WeightedGraph) -> WeightedGraph:
+        """The spanner as a subgraph of ``graph`` (same weights)."""
+        return graph.subgraph_with_edges(self.spanner_edges)
+
+
+def _lightest_edge_per_cluster(
+    graph: WeightedGraph,
+    v: int,
+    cluster_of: Dict[int, int],
+    alive: Set[Tuple[int, int]],
+) -> Dict[int, Tuple[float, int]]:
+    """Map cluster id -> (weight, neighbour) of the lightest alive edge from ``v``."""
+    best: Dict[int, Tuple[float, int]] = {}
+    for u in graph.neighbours(v):
+        if canonical_edge(u, v) not in alive:
+            continue
+        if u not in cluster_of:
+            continue
+        cluster = cluster_of[u]
+        w = graph.weight(u, v)
+        candidate = (w, u)
+        if cluster not in best or candidate < best[cluster]:
+            best[cluster] = candidate
+    return best
+
+
+def baswana_sen_spanner(
+    graph: WeightedGraph,
+    k: int,
+    seed: Optional[int] = None,
+    marking_bits: Optional[List[Dict[int, bool]]] = None,
+) -> BaswanaSenResult:
+    """Compute a ``(2k-1)``-spanner of ``graph`` with O(k n^{1+1/k}) expected edges.
+
+    Parameters
+    ----------
+    graph:
+        Weighted undirected input graph.
+    k:
+        Stretch parameter; the result is a ``(2k-1)``-spanner.
+    seed:
+        RNG seed for the cluster marking.
+    marking_bits:
+        Optional explicit marking decisions, ``marking_bits[i][center] = True``
+        meaning the cluster with that centre is marked in phase ``i`` (0-based).
+        Used by the coupling tests of Lemma 3.1/3.3.
+    """
+    if k < 1:
+        raise ValueError(f"stretch parameter k must be >= 1, got {k}")
+    rng = np.random.default_rng(seed)
+    n = graph.n
+    mark_probability = n ** (-1.0 / k)
+
+    result = BaswanaSenResult()
+    # cluster_of maps a *clustered* vertex to the id (= centre) of its cluster.
+    cluster_of: Dict[int, int] = {v: v for v in range(n)}
+    # Edges still alive (not yet implicitly removed by the algorithm).
+    alive: Set[Tuple[int, int]] = {edge.key for edge in graph.edges()}
+
+    for phase in range(k - 1):
+        result.clusters_per_phase.append(dict(cluster_of))
+        centres = sorted(set(cluster_of.values()))
+        if marking_bits is not None and phase < len(marking_bits):
+            marked = {c for c in centres if marking_bits[phase].get(c, False)}
+        else:
+            marked = {c for c in centres if rng.random() < mark_probability}
+
+        new_cluster_of: Dict[int, int] = {
+            v: c for v, c in cluster_of.items() if c in marked
+        }
+
+        for v in sorted(cluster_of):
+            if cluster_of[v] in marked:
+                continue  # vertices of marked clusters do nothing this phase
+            best = _lightest_edge_per_cluster(graph, v, cluster_of, alive)
+            marked_options = {c: wu for c, wu in best.items() if c in marked}
+            if not marked_options:
+                # v leaves the clustering; connect to every adjacent cluster.
+                for cluster, (w, u) in sorted(best.items()):
+                    result.spanner_edges.add(canonical_edge(u, v))
+                    _remove_cluster_edges(graph, v, cluster, cluster_of, alive)
+            else:
+                # join the nearest marked cluster
+                w_join, u_join = min(
+                    ((w, u) for (w, u) in marked_options.values()), key=lambda t: t
+                )
+                join_cluster = cluster_of[u_join]
+                result.spanner_edges.add(canonical_edge(u_join, v))
+                new_cluster_of[v] = join_cluster
+                _remove_cluster_edges(graph, v, join_cluster, cluster_of, alive)
+                for cluster, (w, u) in sorted(best.items()):
+                    if cluster == join_cluster:
+                        continue
+                    if (w, u) < (w_join, u_join):
+                        result.spanner_edges.add(canonical_edge(u, v))
+                        _remove_cluster_edges(graph, v, cluster, cluster_of, alive)
+        cluster_of = new_cluster_of
+
+    # Final step: every vertex connects to each adjacent cluster of R_k.
+    result.clusters_per_phase.append(dict(cluster_of))
+    for v in range(n):
+        best = _lightest_edge_per_cluster(graph, v, cluster_of, alive)
+        for cluster, (w, u) in sorted(best.items()):
+            if cluster_of.get(v) == cluster:
+                continue  # intra-cluster edges are already covered by the tree
+            result.spanner_edges.add(canonical_edge(u, v))
+    return result
+
+
+def _remove_cluster_edges(
+    graph: WeightedGraph,
+    v: int,
+    cluster: int,
+    cluster_of: Dict[int, int],
+    alive: Set[Tuple[int, int]],
+) -> None:
+    """Remove from ``alive`` every edge between ``v`` and the given cluster."""
+    for u in graph.neighbours(v):
+        if cluster_of.get(u) == cluster:
+            alive.discard(canonical_edge(u, v))

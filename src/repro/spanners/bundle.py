@@ -1,0 +1,98 @@
+"""t-bundle spanners (Algorithm 3, ``BundleSpanner``).
+
+A ``t``-bundle spanner of stretch ``alpha`` is a union ``T = T_1 | ... | T_t``
+where each ``T_i`` is an ``alpha``-spanner of ``G`` minus the previous spanners
+(Definition 2.2).  ``BundleSpanner`` computes one by calling the probabilistic
+spanner ``t`` times, each time removing the edges that were *decided* (``F+``
+or ``F-``) by the previous call, exactly as in Algorithm 3:
+
+    E_i  <-  E_{i-1} \\ (F+_i | F-_i)
+    B    <-  union of the F+_i        (the bundle)
+    C    <-  union of the F-_i        (the edges sampled out)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+from repro.spanners.probabilistic import ProbabilisticSpanner, SpannerResult
+
+EdgeKey = Tuple[int, int]
+
+
+@dataclass
+class BundleResult:
+    """Output of ``BundleSpanner``: the bundle ``B`` and the rejected set ``C``."""
+
+    bundle: Set[EdgeKey] = field(default_factory=set)
+    rejected: Set[EdgeKey] = field(default_factory=set)
+    per_spanner: List[SpannerResult] = field(default_factory=list)
+    rounds: int = 0
+
+    def bundle_graph(self, graph: WeightedGraph) -> WeightedGraph:
+        """The bundle as a reweighted subgraph of ``graph``."""
+        return graph.subgraph_with_edges(self.bundle)
+
+    def orientation(self) -> Dict[EdgeKey, Tuple[int, int]]:
+        """Union of the per-spanner orientations (first writer wins)."""
+        combined: Dict[EdgeKey, Tuple[int, int]] = {}
+        for result in self.per_spanner:
+            for key, arc in result.orientation.items():
+                combined.setdefault(key, arc)
+        return combined
+
+
+def bundle_spanner(
+    graph: WeightedGraph,
+    probabilities: Optional[Dict[EdgeKey, float]] = None,
+    k: int = 2,
+    t: int = 1,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> BundleResult:
+    """Compute a ``t``-bundle of ``(2k-1)``-spanners (Algorithm 3).
+
+    Parameters
+    ----------
+    graph:
+        Weighted input graph.
+    probabilities:
+        Maintained existence probability per edge (defaults to 1 everywhere).
+    k:
+        Stretch parameter of the individual spanners.
+    t:
+        Number of spanners in the bundle.
+    """
+    if t < 1:
+        raise ValueError(f"bundle size t must be >= 1, got {t}")
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    probabilities = dict(probabilities) if probabilities is not None else None
+
+    result = BundleResult()
+    remaining = graph.copy()
+    for _ in range(t):
+        if remaining.m == 0:
+            break
+        restricted_p = None
+        if probabilities is not None:
+            restricted_p = {
+                edge.key: probabilities.get(edge.key, 1.0) for edge in remaining.edges()
+            }
+        spanner = ProbabilisticSpanner(
+            remaining, probabilities=restricted_p, k=k, rng=rng
+        ).run()
+        result.per_spanner.append(spanner)
+        result.bundle |= spanner.f_plus
+        result.rejected |= spanner.f_minus
+        result.rounds += spanner.rounds
+        decided = spanner.f_plus | spanner.f_minus
+        next_graph = WeightedGraph(remaining.n)
+        for edge in remaining.edges():
+            if edge.key not in decided:
+                next_graph.add_edge(edge.u, edge.v, edge.weight)
+        remaining = next_graph
+    return result

@@ -1,0 +1,103 @@
+"""The ``Connect`` procedure (Algorithm 2 of the paper).
+
+Given the candidate neighbour set ``N`` of a vertex ``v`` (all lying in the
+cluster ``v`` is trying to connect to) together with the edge-existence
+probabilities ``p``, the procedure scans the candidates in ascending order of
+edge weight (ties broken towards the smaller identifier) and flips a coin with
+the maintained probability for each.  The first success becomes the connection
+target ``u``; every candidate rejected *before* that success is reported in
+``N^-`` (its edge is declared non-existent, i.e. moved to ``F^-``).
+
+Candidates after the first success are never inspected -- their existence stays
+undecided, which is exactly what lets the ad-hoc sampling of Section 3.2 match
+the a-priori sampling distribution (Lemma 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ConnectResult:
+    """Outcome of one ``Connect`` call.
+
+    Attributes
+    ----------
+    accepted:
+        The neighbour ``u`` that the vertex connects to, or ``None`` (the
+        paper's bottom symbol) if every candidate was rejected or ``N`` was
+        empty.
+    rejected:
+        The candidates whose coin flips failed before the acceptance, in the
+        order they were tried (the set ``N^-`` of the paper).
+    accepted_weight:
+        Weight of the accepted edge, or ``None``.
+    tried:
+        All candidates whose coins were flipped, in order.
+    """
+
+    accepted: Optional[int]
+    rejected: List[int] = field(default_factory=list)
+    accepted_weight: Optional[float] = None
+    tried: List[int] = field(default_factory=list)
+
+    @property
+    def is_bottom(self) -> bool:
+        """Whether the procedure failed to connect (returned the bottom symbol)."""
+        return self.accepted is None
+
+
+def sort_candidates(
+    candidates: Sequence[int], weights: Dict[int, float]
+) -> List[int]:
+    """Sort candidate neighbours ascending by (edge weight, identifier).
+
+    This is line 1 of Algorithm 2; the deterministic tie-break by identifier is
+    what makes the implicit communication of the sampling outcome possible.
+    """
+    return sorted(candidates, key=lambda u: (weights[u], u))
+
+
+def connect(
+    candidates: Sequence[int],
+    weights: Dict[int, float],
+    probabilities: Dict[int, float],
+    rng: np.random.Generator,
+) -> ConnectResult:
+    """Run ``Connect(N, p)`` (Algorithm 2).
+
+    Parameters
+    ----------
+    candidates:
+        The neighbour set ``N`` (vertex identifiers).
+    weights:
+        ``weights[u]`` is the weight of the edge ``(u, v)`` for the calling
+        vertex ``v``.
+    probabilities:
+        ``probabilities[u]`` is the maintained existence probability ``p_{(u,v)}``.
+    rng:
+        Source of the uniform samples ``r in [0, 1]``.
+
+    Returns
+    -------
+    ConnectResult
+        The accepted neighbour (or ``None``) plus the rejected prefix ``N^-``.
+    """
+    ordered = sort_candidates(candidates, weights)
+    result = ConnectResult(accepted=None)
+    for u in ordered:
+        p = probabilities[u]
+        if not (0.0 <= p <= 1.0):
+            raise ValueError(f"edge probability for neighbour {u} must be in [0, 1], got {p}")
+        result.tried.append(u)
+        r = float(rng.random())
+        if r < p or p >= 1.0:
+            result.accepted = u
+            result.accepted_weight = weights[u]
+            break
+        result.rejected.append(u)
+    return result

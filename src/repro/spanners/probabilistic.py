@@ -1,0 +1,392 @@
+"""Spanners on graphs with probabilistic edges (Section 3.1).
+
+``probabilistic_spanner(G, p, k)`` computes a subset ``F = F+ | F-`` of the
+edges such that every edge of ``F`` ends up in ``F+`` independently with its
+maintained probability ``p_e``, and ``S = (V, F+)`` is a ``(2k-1)``-spanner of
+``(V, F+ | E'')`` for every ``E'' subseteq E \\ F`` (Lemma 3.1).  Setting
+``p === 1`` recovers the Baswana-Sen algorithm of Appendix A.
+
+The algorithm is executed phase by phase with per-vertex local state exactly as
+in the paper (cluster marking, ``Connect`` to marked clusters, connections
+between unmarked clusters split by cluster-identifier order, and the final
+connections to the surviving clusters ``R_k``).  Every decision a vertex takes
+is also emitted as the broadcast message the paper prescribes, and the
+Broadcast-CONGEST round cost is accounted following Lemma 3.2: one round per
+word per broadcast, broadcasts of different vertices in the same step run in
+parallel, and the per-phase cluster-marking dissemination costs ``k - 1``
+rounds.  The bookkeeping of the *receiving* endpoint (the "implicit
+communication" of the sampling outcome) is applied symmetrically; the test
+suite checks that the receiver could have reconstructed it from the broadcast
+alone (the three rules of Section 3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph, canonical_edge
+from repro.spanners.connect import connect
+
+EdgeKey = Tuple[int, int]
+
+#: Sentinel broadcast when Connect fails (the paper's bottom symbol).
+BOTTOM = None
+
+
+@dataclass(frozen=True)
+class BroadcastRecord:
+    """One broadcast message emitted during the spanner computation."""
+
+    phase: int
+    step: str
+    sender: int
+    target_cluster: Optional[int]
+    accepted: Optional[int]
+    weight: Optional[float]
+
+
+@dataclass
+class SpannerResult:
+    """Output of the probabilistic spanner algorithm.
+
+    ``f_plus`` / ``f_minus`` are the global edge sets; ``f_plus_of`` /
+    ``f_minus_of`` are the per-vertex views (``u in f_plus_of[v]`` iff the edge
+    ``(u, v)`` is in ``F+``), which is the local form in which a distributed
+    execution would hold the output.
+    """
+
+    n: int
+    k: int
+    f_plus: Set[EdgeKey] = field(default_factory=set)
+    f_minus: Set[EdgeKey] = field(default_factory=set)
+    f_plus_of: Dict[int, Set[int]] = field(default_factory=dict)
+    f_minus_of: Dict[int, Set[int]] = field(default_factory=dict)
+    orientation: Dict[EdgeKey, Tuple[int, int]] = field(default_factory=dict)
+    broadcasts: List[BroadcastRecord] = field(default_factory=list)
+    rounds: int = 0
+    clusters_per_phase: List[Dict[int, int]] = field(default_factory=list)
+
+    @property
+    def f(self) -> Set[EdgeKey]:
+        """The full decided set ``F = F+ | F-``."""
+        return self.f_plus | self.f_minus
+
+    def spanner_graph(self, graph: WeightedGraph) -> WeightedGraph:
+        """The spanner ``(V, F+)`` as a subgraph of ``graph``."""
+        return graph.subgraph_with_edges(self.f_plus)
+
+    def out_degrees(self) -> Dict[int, int]:
+        """Out-degree of every vertex under the computed orientation."""
+        degrees = {v: 0 for v in range(self.n)}
+        for tail, _head in self.orientation.values():
+            degrees[tail] += 1
+        return degrees
+
+    def max_out_degree(self) -> int:
+        degrees = self.out_degrees()
+        return max(degrees.values()) if degrees else 0
+
+
+class ProbabilisticSpanner:
+    """Stateful executor of the Section 3.1 spanner algorithm."""
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        probabilities: Optional[Dict[EdgeKey, float]] = None,
+        k: int = 2,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+        marking_bits: Optional[List[Dict[int, bool]]] = None,
+    ):
+        if k < 1:
+            raise ValueError(f"stretch parameter k must be >= 1, got {k}")
+        self.graph = graph
+        self.k = int(k)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.marking_bits = marking_bits
+        self.probability: Dict[EdgeKey, float] = {}
+        for edge in graph.edges():
+            p = 1.0 if probabilities is None else float(probabilities.get(edge.key, 1.0))
+            if not (0.0 <= p <= 1.0):
+                raise ValueError(f"edge probability for {edge.key} must lie in [0, 1], got {p}")
+            self.probability[edge.key] = p
+
+        n = graph.n
+        self.result = SpannerResult(
+            n=n,
+            k=self.k,
+            f_plus_of={v: set() for v in range(n)},
+            f_minus_of={v: set() for v in range(n)},
+        )
+        # cluster_of[v] = identifier (centre) of the R_i cluster containing v.
+        self.cluster_of: Dict[int, int] = {v: v for v in range(n)}
+        self.word_bits = max(1, math.ceil(math.log2(max(2, n))))
+        max_weight = max(2.0, graph.max_weight())
+        self.words_per_message = 1 + math.ceil(math.log2(max_weight) / self.word_bits)
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self) -> SpannerResult:
+        """Execute all ``k - 1`` phases plus the final step and return the result."""
+        mark_probability = self.graph.n ** (-1.0 / self.k)
+        for phase in range(self.k - 1):
+            self.result.clusters_per_phase.append(dict(self.cluster_of))
+            marked = self._mark_clusters(phase, mark_probability)
+            new_cluster_of = {
+                v: c for v, c in self.cluster_of.items() if c in marked
+            }
+            self._step_connect_to_marked(phase, marked, new_cluster_of)
+            self._step_unmarked_to_unmarked(phase, marked, smaller_ids=True)
+            self._step_unmarked_to_unmarked(phase, marked, smaller_ids=False)
+            self.cluster_of = new_cluster_of
+            # Step 1 dissemination of the marking through the cluster trees.
+            self.result.rounds += max(1, self.k - 1)
+        self.result.clusters_per_phase.append(dict(self.cluster_of))
+        self._final_step()
+        return self.result
+
+    # -- phase steps ------------------------------------------------------------
+
+    def _mark_clusters(self, phase: int, mark_probability: float) -> Set[int]:
+        """Step 1: every cluster centre marks itself with probability ``n^{-1/k}``."""
+        centres = sorted(set(self.cluster_of.values()))
+        if self.marking_bits is not None and phase < len(self.marking_bits):
+            return {c for c in centres if self.marking_bits[phase].get(c, False)}
+        return {c for c in centres if self.rng.random() < mark_probability}
+
+    def _step_connect_to_marked(
+        self, phase: int, marked: Set[int], new_cluster_of: Dict[int, int]
+    ) -> None:
+        """Step 2: vertices of unmarked clusters try to join a marked cluster.
+
+        ``self.w_threshold[v]`` records the (weight, identifier) pair of the
+        accepted connection ``(W_v, u)``, or ``(inf, inf)`` when ``Connect``
+        returned bottom; step 3 only considers strictly lighter edges (ties
+        broken by identifier, as in the Baswana-Sen algorithm of Appendix A).
+        """
+        self.w_threshold: Dict[int, Tuple[float, float]] = {}
+        messages_per_vertex: Dict[int, int] = {}
+        for v in sorted(self.cluster_of):
+            if self.cluster_of[v] in marked:
+                continue
+            candidates = [
+                u
+                for u in self._alive_neighbours(v)
+                if self.cluster_of.get(u) in marked
+            ]
+            outcome = self._run_connect(v, candidates)
+            messages_per_vertex[v] = 1
+            if outcome.accepted is None:
+                self.w_threshold[v] = (math.inf, math.inf)
+                self._record_broadcast(phase, "step2", v, None, None, None)
+            else:
+                u = outcome.accepted
+                self.w_threshold[v] = (self.graph.weight(u, v), u)
+                new_cluster_of[v] = self.cluster_of[u]
+                self._add_spanner_edge(v, u)
+                self._record_broadcast(
+                    phase, "step2", v, self.cluster_of[u], u, self.graph.weight(u, v)
+                )
+            self._reject_edges(v, outcome.rejected)
+        self._charge_step(messages_per_vertex)
+
+    def _step_unmarked_to_unmarked(
+        self, phase: int, marked: Set[int], smaller_ids: bool
+    ) -> None:
+        """Steps 3.1 / 3.2: connections between unmarked clusters, split by ID."""
+        step_name = "step3.1" if smaller_ids else "step3.2"
+        messages_per_vertex: Dict[int, int] = {}
+        for v in sorted(self.cluster_of):
+            own_cluster = self.cluster_of[v]
+            if own_cluster in marked:
+                continue
+            threshold = self.w_threshold.get(v, (math.inf, math.inf))
+            neighbour_clusters = self._adjacent_clusters(
+                v, exclude=marked | {own_cluster}
+            )
+            for cluster in sorted(neighbour_clusters):
+                if smaller_ids and cluster > own_cluster:
+                    continue
+                if (not smaller_ids) and cluster <= own_cluster:
+                    continue
+                candidates = [
+                    u
+                    for u in self._alive_neighbours(v)
+                    if self.cluster_of.get(u) == cluster
+                    and (self.graph.weight(u, v), u) < threshold
+                ]
+                if not candidates:
+                    continue
+                outcome = self._run_connect(v, candidates)
+                messages_per_vertex[v] = messages_per_vertex.get(v, 0) + 1
+                if outcome.accepted is None:
+                    self._record_broadcast(phase, step_name, v, cluster, None, None)
+                else:
+                    u = outcome.accepted
+                    self._add_spanner_edge(v, u)
+                    self._record_broadcast(
+                        phase, step_name, v, cluster, u, self.graph.weight(u, v)
+                    )
+                self._reject_edges(v, outcome.rejected)
+        self._charge_step(messages_per_vertex)
+
+    def _final_step(self) -> None:
+        """Step 4: connect every vertex to all adjacent surviving clusters ``R_k``."""
+        surviving = set(self.cluster_of.values())
+        phase = self.k - 1
+
+        # 4.1 -- vertices outside any surviving cluster.
+        messages_per_vertex: Dict[int, int] = {}
+        for v in range(self.graph.n):
+            if v in self.cluster_of:
+                continue
+            self._connect_to_each_cluster(v, surviving, phase, "step4.1", messages_per_vertex)
+        self._charge_step(messages_per_vertex)
+
+        # 4.2 / 4.3 -- vertices inside surviving clusters, split by cluster ID.
+        for smaller_ids, step_name in ((True, "step4.2"), (False, "step4.3")):
+            messages_per_vertex = {}
+            for v in sorted(self.cluster_of):
+                own_cluster = self.cluster_of[v]
+                targets = {
+                    c
+                    for c in self._adjacent_clusters(v, exclude={own_cluster})
+                    if c in surviving
+                    and ((c <= own_cluster) if smaller_ids else (c > own_cluster))
+                }
+                self._connect_to_each_cluster(v, targets, phase, step_name, messages_per_vertex)
+            self._charge_step(messages_per_vertex)
+
+    def _connect_to_each_cluster(
+        self,
+        v: int,
+        clusters: Set[int],
+        phase: int,
+        step_name: str,
+        messages_per_vertex: Dict[int, int],
+    ) -> None:
+        for cluster in sorted(clusters):
+            candidates = [
+                u
+                for u in self._alive_neighbours(v)
+                if self.cluster_of.get(u) == cluster
+            ]
+            if not candidates:
+                continue
+            outcome = self._run_connect(v, candidates)
+            messages_per_vertex[v] = messages_per_vertex.get(v, 0) + 1
+            if outcome.accepted is None:
+                self._record_broadcast(phase, step_name, v, cluster, None, None)
+            else:
+                u = outcome.accepted
+                self._add_spanner_edge(v, u)
+                self._record_broadcast(
+                    phase, step_name, v, cluster, u, self.graph.weight(u, v)
+                )
+            self._reject_edges(v, outcome.rejected)
+
+    # -- local state helpers -------------------------------------------------------
+
+    def _alive_neighbours(self, v: int) -> List[int]:
+        """``N_v``: graph neighbours whose edge has not been declared non-existent."""
+        deleted = self.result.f_minus_of[v]
+        return [u for u in sorted(self.graph.neighbours(v)) if u not in deleted]
+
+    def _adjacent_clusters(self, v: int, exclude: Set[int]) -> Set[int]:
+        """Identifiers of clusters adjacent to ``v`` through alive edges."""
+        clusters = set()
+        for u in self._alive_neighbours(v):
+            cluster = self.cluster_of.get(u)
+            if cluster is not None and cluster not in exclude:
+                clusters.add(cluster)
+        return clusters
+
+    def _run_connect(self, v: int, candidates: Sequence[int]):
+        weights = {u: self.graph.weight(u, v) for u in candidates}
+        probabilities = {u: self._edge_probability(u, v) for u in candidates}
+        return connect(candidates, weights, probabilities, self.rng)
+
+    def _edge_probability(self, u: int, v: int) -> float:
+        """Existence probability of an edge, accounting for edges already accepted."""
+        key = canonical_edge(u, v)
+        if key in self.result.f_plus:
+            return 1.0
+        return self.probability[key]
+
+    def _add_spanner_edge(self, adder: int, other: int) -> None:
+        key = canonical_edge(adder, other)
+        if key not in self.result.f_plus:
+            self.result.orientation[key] = (adder, other)
+        self.result.f_plus.add(key)
+        self.result.f_plus_of[adder].add(other)
+        self.result.f_plus_of[other].add(adder)
+
+    def _reject_edges(self, v: int, rejected: Sequence[int]) -> None:
+        for u in rejected:
+            key = canonical_edge(u, v)
+            if key in self.result.f_plus:
+                raise RuntimeError(
+                    f"edge {key} was sampled out after having been accepted; "
+                    "this indicates a bookkeeping bug"
+                )
+            self.result.f_minus.add(key)
+            self.result.f_minus_of[v].add(u)
+            self.result.f_minus_of[u].add(v)
+
+    def _record_broadcast(
+        self,
+        phase: int,
+        step: str,
+        sender: int,
+        target_cluster: Optional[int],
+        accepted: Optional[int],
+        weight: Optional[float],
+    ) -> None:
+        self.result.broadcasts.append(
+            BroadcastRecord(
+                phase=phase,
+                step=step,
+                sender=sender,
+                target_cluster=target_cluster,
+                accepted=accepted,
+                weight=weight,
+            )
+        )
+
+    def _charge_step(self, messages_per_vertex: Dict[int, int]) -> None:
+        """Charge rounds for one step: broadcasts of different vertices run in
+        parallel, so the cost is the maximum number of messages any vertex sends,
+        times the number of words per message (Lemma 3.2)."""
+        if not messages_per_vertex:
+            self.result.rounds += 1
+            return
+        self.result.rounds += max(messages_per_vertex.values()) * self.words_per_message
+
+
+def probabilistic_spanner(
+    graph: WeightedGraph,
+    probabilities: Optional[Dict[EdgeKey, float]] = None,
+    k: int = 2,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    marking_bits: Optional[List[Dict[int, bool]]] = None,
+) -> SpannerResult:
+    """Convenience wrapper around :class:`ProbabilisticSpanner`.
+
+    With ``probabilities=None`` (i.e. ``p === 1``) this computes a plain
+    ``(2k-1)``-spanner of ``graph`` and ``F-`` is empty.
+    """
+    algorithm = ProbabilisticSpanner(
+        graph,
+        probabilities=probabilities,
+        k=k,
+        rng=rng,
+        seed=seed,
+        marking_bits=marking_bits,
+    )
+    return algorithm.run()

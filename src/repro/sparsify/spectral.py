@@ -1,0 +1,255 @@
+"""Spectral sparsification via repeated spanners (Algorithms 1, 4 and 5).
+
+Both variants follow the same outline (Algorithm 1): for ``ceil(log m)``
+iterations compute a ``t``-bundle spanner of the current graph, keep each
+non-bundle edge with probability 1/4 while quadrupling its weight, and return
+the final bundle together with the surviving sampled edges.
+
+* :func:`spectral_sparsify_apriori` (Algorithm 4) performs the 1/4-sampling
+  up-front in every iteration.  This requires the sampling vertex to tell its
+  neighbour the outcome, which is only possible in the unicast CONGEST model.
+* :func:`spectral_sparsify` (Algorithm 5) defers the sampling: it maintains the
+  existence probability ``p(e)`` of every edge and lets the probabilistic
+  spanner of Section 3.1 evaluate the coin flips lazily, communicating the
+  outcomes implicitly.  This is the Broadcast-CONGEST algorithm of Theorem 1.2.
+
+Lemma 3.3 states that the two algorithms produce identically distributed
+outputs; ``tests/sparsify`` checks this empirically on small graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph, canonical_edge
+from repro.spanners.bundle import bundle_spanner
+
+EdgeKey = Tuple[int, int]
+
+
+def bundle_size(n: int, eps: float, scale: float = 1.0) -> int:
+    """The paper's bundle size ``t = 400 log^2(n) / eps^2`` (line 1 of Algorithm 5).
+
+    ``scale`` scales the leading constant only; it exists because at
+    laptop-scale ``n`` the literal constant makes the bundle swallow the whole
+    graph (see DESIGN.md, substitutions).  ``scale=1.0`` is the paper's value.
+    """
+    if eps <= 0:
+        raise ValueError(f"error parameter eps must be positive, got {eps}")
+    n = max(2, int(n))
+    t = scale * 400.0 * (math.log2(n) ** 2) / (eps * eps)
+    return max(1, math.ceil(t))
+
+
+def stretch_parameter(n: int) -> int:
+    """The paper's stretch parameter ``k = ceil(log n)``."""
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+@dataclass
+class IterationRecord:
+    """Bookkeeping of one outer iteration of the sparsification loop."""
+
+    iteration: int
+    bundle_edges: int
+    rejected_edges: int
+    remaining_edges: int
+    rounds: int
+
+
+@dataclass
+class SparsifierResult:
+    """Output of the sparsification algorithms.
+
+    ``sparsifier`` is the reweighted subgraph ``H``; ``rounds`` is the
+    Broadcast-CONGEST round count (only meaningful for the ad-hoc variant);
+    ``orientation`` maps each sparsifier edge to a ``(tail, head)`` pair such
+    that out-degrees are small (Theorem 1.2).
+    """
+
+    sparsifier: WeightedGraph
+    rounds: int = 0
+    iterations: List[IterationRecord] = field(default_factory=list)
+    orientation: Dict[EdgeKey, Tuple[int, int]] = field(default_factory=dict)
+    final_probabilities: Dict[EdgeKey, float] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of edges of the sparsifier."""
+        return self.sparsifier.m
+
+    def max_out_degree(self) -> int:
+        degrees: Dict[int, int] = {v: 0 for v in range(self.sparsifier.n)}
+        for tail, _head in self.orientation.values():
+            degrees[tail] += 1
+        return max(degrees.values()) if degrees else 0
+
+
+def _iteration_count(m: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, m))))
+
+
+def spectral_sparsify(
+    graph: WeightedGraph,
+    eps: float,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    t_override: Optional[int] = None,
+    bundle_scale: float = 1.0,
+    k_override: Optional[int] = None,
+) -> SparsifierResult:
+    """Algorithm 5: Broadcast-CONGEST spectral sparsification with ad-hoc sampling.
+
+    Returns a ``(1 +/- eps)``-spectral sparsifier of ``graph`` with high
+    probability (Theorem 1.2) together with the round count and an orientation
+    of its edges with small out-degree.
+
+    Parameters
+    ----------
+    graph:
+        Weighted input graph (positive weights).
+    eps:
+        Target quality of the sparsifier.
+    t_override / bundle_scale / k_override:
+        Experiment knobs; the defaults follow the paper exactly.
+    """
+    if graph.m == 0:
+        return SparsifierResult(sparsifier=graph.copy())
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    n = graph.n
+    k = k_override if k_override is not None else stretch_parameter(n)
+    t = t_override if t_override is not None else bundle_size(n, eps, bundle_scale)
+
+    current = graph.copy()
+    probability: Dict[EdgeKey, float] = {edge.key: 1.0 for edge in graph.edges()}
+    result = SparsifierResult(sparsifier=WeightedGraph(n))
+    last_bundle: Set[EdgeKey] = set()
+    last_orientation: Dict[EdgeKey, Tuple[int, int]] = {}
+
+    for iteration in range(1, _iteration_count(graph.m) + 1):
+        restricted_p = {edge.key: probability[edge.key] for edge in current.edges()}
+        bundle = bundle_spanner(current, probabilities=restricted_p, k=k, t=t, rng=rng)
+        last_bundle = set(bundle.bundle)
+        last_orientation = bundle.orientation()
+        result.rounds += bundle.rounds
+
+        # E_i <- E_{i-1} \ C_i ; p <- 1 on the bundle, p/4 and w*4 elsewhere.
+        next_graph = WeightedGraph(n)
+        for edge in current.edges():
+            key = edge.key
+            if key in bundle.rejected:
+                probability.pop(key, None)
+                continue
+            if key in bundle.bundle:
+                probability[key] = 1.0
+                next_graph.add_edge(edge.u, edge.v, edge.weight)
+            else:
+                probability[key] = probability[key] / 4.0
+                next_graph.add_edge(edge.u, edge.v, 4.0 * edge.weight)
+        result.iterations.append(
+            IterationRecord(
+                iteration=iteration,
+                bundle_edges=len(bundle.bundle),
+                rejected_edges=len(bundle.rejected),
+                remaining_edges=next_graph.m,
+                rounds=bundle.rounds,
+            )
+        )
+        current = next_graph
+
+    # Final step: keep the last bundle, sample the remaining edges with their
+    # maintained probability (lines 11-15 of Algorithm 5).
+    sparsifier = WeightedGraph(n)
+    orientation: Dict[EdgeKey, Tuple[int, int]] = {}
+    broadcasts_per_vertex: Dict[int, int] = {}
+    for edge in current.edges():
+        key = edge.key
+        if key in last_bundle:
+            sparsifier.add_edge(edge.u, edge.v, edge.weight)
+            if key in last_orientation:
+                orientation[key] = last_orientation[key]
+            else:
+                orientation[key] = (min(key), max(key))
+            continue
+        # the endpoint with the smaller identifier performs the sampling
+        sampler = min(key)
+        if rng.random() < probability[key]:
+            sparsifier.add_edge(edge.u, edge.v, edge.weight)
+            orientation[key] = (sampler, max(key))
+            broadcasts_per_vertex[sampler] = broadcasts_per_vertex.get(sampler, 0) + 1
+    if broadcasts_per_vertex:
+        result.rounds += max(broadcasts_per_vertex.values())
+    else:
+        result.rounds += 1
+
+    result.sparsifier = sparsifier
+    result.orientation = orientation
+    result.final_probabilities = dict(probability)
+    return result
+
+
+def spectral_sparsify_apriori(
+    graph: WeightedGraph,
+    eps: float,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    t_override: Optional[int] = None,
+    bundle_scale: float = 1.0,
+    k_override: Optional[int] = None,
+) -> SparsifierResult:
+    """Algorithm 4: the a-priori sampling variant (CONGEST-only reference).
+
+    Identical output distribution to :func:`spectral_sparsify` (Lemma 3.3) but
+    samples the non-bundle edges eagerly in every iteration, which requires
+    unicast communication of the sampling outcome.
+    """
+    if graph.m == 0:
+        return SparsifierResult(sparsifier=graph.copy())
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    n = graph.n
+    k = k_override if k_override is not None else stretch_parameter(n)
+    t = t_override if t_override is not None else bundle_size(n, eps, bundle_scale)
+
+    current = graph.copy()
+    result = SparsifierResult(sparsifier=WeightedGraph(n))
+    orientation: Dict[EdgeKey, Tuple[int, int]] = {}
+
+    for iteration in range(1, _iteration_count(graph.m) + 1):
+        bundle = bundle_spanner(current, probabilities=None, k=k, t=t, rng=rng)
+        result.rounds += bundle.rounds
+        bundle_orientation = bundle.orientation()
+
+        next_graph = WeightedGraph(n)
+        for key in sorted(bundle.bundle):
+            u, v = key
+            next_graph.add_edge(u, v, current.weight(u, v))
+            orientation[key] = bundle_orientation.get(key, (u, v))
+        sampled = 0
+        for edge in current.edges():
+            if edge.key in bundle.bundle:
+                continue
+            if rng.random() < 0.25:
+                next_graph.add_edge(edge.u, edge.v, 4.0 * edge.weight)
+                orientation[edge.key] = (min(edge.key), max(edge.key))
+                sampled += 1
+        result.iterations.append(
+            IterationRecord(
+                iteration=iteration,
+                bundle_edges=len(bundle.bundle),
+                rejected_edges=0,
+                remaining_edges=next_graph.m,
+                rounds=bundle.rounds,
+            )
+        )
+        current = next_graph
+
+    result.sparsifier = current
+    result.orientation = {
+        key: orientation.get(key, (min(key), max(key)))
+        for key in (edge.key for edge in current.edges())
+    }
+    return result

@@ -1,0 +1,87 @@
+"""Tests for the round ledger and communication primitives."""
+
+import numpy as np
+import pytest
+
+from repro.congest.ledger import CommunicationPrimitives, RoundLedger
+
+
+class TestRoundLedger:
+    def test_total_rounds_accumulates(self):
+        ledger = RoundLedger()
+        ledger.charge("a", 3)
+        ledger.charge("b", 2.5)
+        assert ledger.total_rounds == pytest.approx(5.5)
+
+    def test_rounds_by_operation_groups(self):
+        ledger = RoundLedger()
+        ledger.charge("matvec", 2)
+        ledger.charge("matvec", 2)
+        ledger.charge("broadcast", 1)
+        grouped = ledger.rounds_by_operation()
+        assert grouped["matvec"] == 4
+        assert grouped["broadcast"] == 1
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            RoundLedger().charge("bad", -1)
+
+    def test_reset_and_merge(self):
+        a = RoundLedger()
+        a.charge("x", 1)
+        b = RoundLedger()
+        b.charge("y", 2)
+        a.merge(b)
+        assert a.total_rounds == 3
+        a.reset()
+        assert a.total_rounds == 0
+
+
+class TestCommunicationPrimitives:
+    def test_local_operations_are_free(self):
+        comm = CommunicationPrimitives(16)
+        comm.vector_op()
+        comm.local_computation()
+        assert comm.ledger.total_rounds == 0
+
+    def test_scalar_broadcast_costs_at_least_one_round(self):
+        comm = CommunicationPrimitives(16)
+        comm.broadcast_scalar()
+        assert comm.ledger.total_rounds >= 1
+
+    def test_matvec_cost_grows_with_precision(self):
+        cheap = CommunicationPrimitives(64, precision=1e-3)
+        costly = CommunicationPrimitives(64, precision=1e-12)
+        cheap.matvec()
+        costly.matvec()
+        assert costly.ledger.total_rounds >= cheap.ledger.total_rounds
+
+    def test_vector_broadcast_scales_with_length(self):
+        comm = CommunicationPrimitives(10)
+        r_short = comm.broadcast_vector_coordinatewise(10)
+        r_long = comm.broadcast_vector_coordinatewise(100)
+        assert r_long >= r_short
+        assert r_long >= 10 * r_short / 10  # ceil(100/10)=10 coordinates per vertex
+
+    def test_random_bits_broadcast(self):
+        comm = CommunicationPrimitives(16)
+        rounds = comm.broadcast_random_bits(bits=64)
+        assert rounds == pytest.approx(np.ceil(64 / comm.word_bits))
+
+    def test_distributed_matvec_matches_numpy(self):
+        comm = CommunicationPrimitives(8)
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(8, 8))
+        v = rng.normal(size=8)
+        out = comm.distributed_matvec(A, v)
+        np.testing.assert_allclose(out, A @ v)
+        assert comm.ledger.total_rounds > 0
+
+    def test_distributed_sum_matches_numpy(self):
+        comm = CommunicationPrimitives(8)
+        values = np.arange(8.0)
+        assert comm.distributed_sum(values) == pytest.approx(28.0)
+
+    def test_invalid_network_size(self):
+        with pytest.raises(ValueError):
+            CommunicationPrimitives(0)

@@ -1,0 +1,72 @@
+"""Tests for message size accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.congest.messages import (
+    Message,
+    message_size_bits,
+    message_size_words,
+    split_into_words,
+    word_size_bits,
+)
+
+
+class TestWordSize:
+    def test_small_networks_have_at_least_one_bit(self):
+        assert word_size_bits(1) >= 1
+        assert word_size_bits(2) >= 1
+
+    def test_word_size_grows_logarithmically(self):
+        assert word_size_bits(16) == 4
+        assert word_size_bits(1024) == 10
+        assert word_size_bits(1025) == 11
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ValueError):
+            word_size_bits(0)
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_identifiers_fit_in_one_word(self, n):
+        # every identifier 0..n-1 must be representable in one word
+        assert (n - 1).bit_length() <= word_size_bits(n)
+
+
+class TestMessageSizes:
+    def test_none_payload_is_one_word(self):
+        assert message_size_words(None, 16) == 1
+
+    def test_identifier_payload_fits_one_word(self):
+        assert message_size_words(7, 16) == 1
+
+    def test_large_integer_needs_multiple_words(self):
+        assert message_size_words(2 ** 40, 16) > 1
+
+    def test_tuple_payload_sums_components(self):
+        single = message_size_bits(5, 64)
+        assert message_size_bits((5, 5, 5), 64) == 3 * single
+
+    def test_float_payload_is_two_words(self):
+        assert message_size_words(3.14, 256) == 2
+
+    def test_split_into_words_consistency(self):
+        words, bits = split_into_words((1, 2, 3), 32)
+        assert words == message_size_words((1, 2, 3), 32)
+        assert bits == message_size_bits((1, 2, 3), 32)
+
+    @given(st.integers(min_value=0, max_value=2**60), st.integers(min_value=2, max_value=4096))
+    def test_word_count_always_positive(self, value, n):
+        assert message_size_words(value, n) >= 1
+
+
+class TestMessageObject:
+    def test_message_records_sender(self):
+        msg = Message(sender=3, payload=(1, 2))
+        assert msg.sender == 3
+        assert msg.size_words(16) >= 1
+        assert msg.size_bits(16) == message_size_bits((1, 2), 16)
+
+    def test_message_is_frozen(self):
+        msg = Message(sender=1, payload="x")
+        with pytest.raises(AttributeError):
+            msg.sender = 2

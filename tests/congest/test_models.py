@@ -1,0 +1,78 @@
+"""Tests for the CONGEST-family communication models."""
+
+import pytest
+
+from repro.congest.models import (
+    BroadcastCongestedCliqueModel,
+    BroadcastCongestModel,
+    CongestedCliqueModel,
+    CongestModel,
+    make_model,
+)
+
+
+def triangle_adjacency():
+    return {0: {1, 2}, 1: {0, 2}, 2: {0, 1}}
+
+
+def path_adjacency():
+    return {0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2}}
+
+
+class TestTopologies:
+    def test_congest_restricted_to_graph_edges(self):
+        model = CongestModel(path_adjacency())
+        assert model.communication_neighbours(0) == {1}
+        assert model.communication_neighbours(1) == {0, 2}
+
+    def test_clique_models_are_all_to_all(self):
+        for cls in (CongestedCliqueModel, BroadcastCongestedCliqueModel):
+            model = cls(path_adjacency())
+            assert model.communication_neighbours(0) == {1, 2, 3}
+            assert model.communication_neighbours(3) == {0, 1, 2}
+
+    def test_graph_neighbours_preserved_in_clique_models(self):
+        model = BroadcastCongestedCliqueModel(path_adjacency())
+        assert model.graph_neighbours(0) == {1}
+
+    def test_vertex_count(self):
+        model = CongestModel(triangle_adjacency())
+        assert model.n == 3
+        assert list(model.vertices) == [0, 1, 2]
+
+
+class TestBroadcastConstraint:
+    def test_broadcast_models_flag(self):
+        assert BroadcastCongestModel(triangle_adjacency()).broadcast_only
+        assert BroadcastCongestedCliqueModel(triangle_adjacency()).broadcast_only
+        assert not CongestModel(triangle_adjacency()).broadcast_only
+        assert not CongestedCliqueModel(triangle_adjacency()).broadcast_only
+
+    def test_validate_send_rejects_distinct_payloads_under_broadcast(self):
+        model = BroadcastCongestModel(triangle_adjacency())
+        with pytest.raises(ValueError, match="broadcast"):
+            model.validate_send(0, {1, 2}, distinct_payloads=True)
+
+    def test_validate_send_rejects_non_neighbours_in_congest(self):
+        model = CongestModel(path_adjacency())
+        with pytest.raises(ValueError, match="may not send"):
+            model.validate_send(0, {3}, distinct_payloads=False)
+
+    def test_validate_send_accepts_legal_sends(self):
+        model = CongestModel(path_adjacency())
+        model.validate_send(1, {0, 2}, distinct_payloads=True)
+        bcc = BroadcastCongestedCliqueModel(path_adjacency())
+        bcc.validate_send(0, {1, 2, 3}, distinct_payloads=False)
+
+
+class TestRegistry:
+    def test_make_model_by_name(self):
+        adjacency = triangle_adjacency()
+        assert isinstance(make_model("congest", adjacency), CongestModel)
+        assert isinstance(make_model("bc", adjacency), BroadcastCongestModel)
+        assert isinstance(make_model("bcc", adjacency), BroadcastCongestedCliqueModel)
+        assert isinstance(make_model("congested-clique", adjacency), CongestedCliqueModel)
+
+    def test_make_model_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            make_model("mystery", triangle_adjacency())

@@ -1,0 +1,120 @@
+"""Tests for the synchronous network simulator."""
+
+import pytest
+
+from repro.congest.models import BroadcastCongestedCliqueModel, BroadcastCongestModel, CongestModel
+from repro.congest.network import Network
+from repro.congest.vertex import VertexAlgorithm, VertexContext
+
+
+def path_adjacency(n=4):
+    adj = {v: set() for v in range(n)}
+    for v in range(n - 1):
+        adj[v].add(v + 1)
+        adj[v + 1].add(v)
+    return adj
+
+
+class FloodMax(VertexAlgorithm):
+    """Every vertex learns the maximum identifier by flooding (Broadcast CONGEST)."""
+
+    def __init__(self, n):
+        self.known = {v: v for v in range(n)}
+        self.changed = {v: True for v in range(n)}
+
+    def initialize(self, ctx: VertexContext) -> None:
+        ctx.broadcast(self.known[ctx.vertex])
+
+    def round(self, ctx: VertexContext, round_number: int) -> None:
+        best = self.known[ctx.vertex]
+        for msg in ctx.inbox:
+            best = max(best, msg.payload)
+        self.changed[ctx.vertex] = best != self.known[ctx.vertex]
+        self.known[ctx.vertex] = best
+        if self.changed[ctx.vertex]:
+            ctx.broadcast(best)
+
+    def is_finished(self, vertex: int) -> bool:
+        return not self.changed[vertex]
+
+    def result(self, vertex: int):
+        return self.known[vertex]
+
+
+class UnicastEcho(VertexAlgorithm):
+    """Vertex 0 sends a distinct message to each neighbour (needs unicast)."""
+
+    def __init__(self):
+        self.done = False
+
+    def initialize(self, ctx: VertexContext) -> None:
+        pass
+
+    def round(self, ctx: VertexContext, round_number: int) -> None:
+        if ctx.vertex == 0 and round_number == 1:
+            for i, u in enumerate(sorted(ctx.neighbours)):
+                ctx.send(u, ("hello", i))
+        self.done = True
+
+    def is_finished(self, vertex: int) -> bool:
+        return self.done
+
+
+class TestFloodMax:
+    def test_all_vertices_learn_global_maximum(self):
+        n = 6
+        model = BroadcastCongestModel(path_adjacency(n))
+        network = Network(model)
+        algorithm = FloodMax(n)
+        network.run(algorithm)
+        assert all(algorithm.result(v) == n - 1 for v in range(n))
+
+    def test_round_count_scales_with_diameter(self):
+        short = Network(BroadcastCongestModel(path_adjacency(3)))
+        long = Network(BroadcastCongestModel(path_adjacency(10)))
+        short.run(FloodMax(3))
+        long.run(FloodMax(10))
+        assert long.metrics.logical_rounds > short.metrics.logical_rounds
+
+    def test_bcc_floods_in_constant_rounds(self):
+        n = 10
+        network = Network(BroadcastCongestedCliqueModel(path_adjacency(n)))
+        algorithm = FloodMax(n)
+        network.run(algorithm)
+        # one broadcast reaches everyone, a second round confirms quiescence
+        assert network.metrics.logical_rounds <= 3
+        assert all(algorithm.result(v) == n - 1 for v in range(n))
+
+    def test_metrics_accumulate_messages_and_bits(self):
+        n = 5
+        network = Network(BroadcastCongestModel(path_adjacency(n)))
+        network.run(FloodMax(n))
+        assert network.metrics.messages > 0
+        assert network.metrics.bits > 0
+        assert network.metrics.broadcasts > 0
+
+
+class TestModelEnforcement:
+    def test_unicast_allowed_in_congest(self):
+        network = Network(CongestModel(path_adjacency(4)))
+        network.run(UnicastEcho())
+
+    def test_unicast_rejected_under_broadcast_constraint(self):
+        network = Network(BroadcastCongestModel(path_adjacency(4)))
+        with pytest.raises(ValueError, match="broadcast"):
+            network.run(UnicastEcho())
+
+    def test_nontermination_is_detected(self):
+        class Chatter(VertexAlgorithm):
+            def initialize(self, ctx):
+                pass
+
+            def round(self, ctx, round_number):
+                ctx.broadcast(round_number)
+
+            def is_finished(self, vertex):
+                return False
+
+        network = Network(BroadcastCongestModel(path_adjacency(3)))
+        with pytest.raises(RuntimeError, match="did not terminate"):
+            network.run(Chatter(), max_rounds=20)

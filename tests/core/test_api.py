@@ -1,0 +1,64 @@
+"""Tests for the public facade API and the Figure-1 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.graphs import generators, is_spectral_sparsifier
+from repro.lp import LPProblem
+from repro.solvers import BCCLaplacianSolver
+
+
+class TestFacade:
+    def test_spanner_facade(self):
+        g = generators.random_weighted_graph(18, seed=1)
+        result = core.spanner(g, k=2, seed=2)
+        assert result.spanner_graph(g).is_connected()
+
+    def test_sparsifier_facade(self):
+        g = generators.random_weighted_graph(18, seed=3)
+        result = core.spectral_sparsifier(g, eps=0.5, seed=4)
+        assert is_spectral_sparsifier(g, result.sparsifier, eps=0.5)
+
+    def test_laplacian_facade_with_and_without_reuse(self):
+        g = generators.random_weighted_graph(18, seed=5)
+        rng = np.random.default_rng(6)
+        b = rng.normal(size=g.n)
+        report = core.solve_laplacian(g, b, eps=1e-6, seed=7, t_override=2)
+        assert report.solution.shape == (g.n,)
+        solver = BCCLaplacianSolver(g, seed=8, t_override=2)
+        report2 = core.solve_laplacian(g, b, eps=1e-6, solver=solver)
+        np.testing.assert_allclose(report.solution, report2.solution, atol=1e-4)
+
+    def test_lp_facade_engines(self):
+        rng = np.random.default_rng(9)
+        m, n = 14, 3
+        A = rng.normal(size=(m, n))
+        x0 = rng.uniform(0.4, 0.6, size=m)
+        problem = LPProblem(A=A, b=A.T @ x0, c=rng.normal(size=m), lower=np.zeros(m), upper=np.ones(m))
+        barrier = core.solve_lp(problem, x0, eps=1e-5, engine="barrier")
+        assert barrier.converged
+        with pytest.raises(ValueError):
+            core.solve_lp(problem, x0, engine="unknown")
+
+    def test_flow_facade(self):
+        net = generators.random_flow_network(9, seed=10)
+        result = core.min_cost_max_flow(net, seed=10, verify_against_baseline=True)
+        assert result.value > 0
+
+
+class TestPipeline:
+    def test_figure_one_pipeline_runs_end_to_end(self):
+        net = generators.random_flow_network(10, seed=11, max_capacity=6, max_cost=4)
+        report = core.run_full_pipeline(net, seed=11)
+        assert report.spanner_edges > 0
+        assert report.sparsifier_edges > 0
+        assert report.laplacian_relative_error <= 1e-6
+        assert report.flow_value > 0
+        assert report.total_rounds > 0
+        assert set(report.stage_rounds) == {
+            "spanner",
+            "sparsifier",
+            "laplacian_solver",
+            "lp_and_flow",
+        }

@@ -1,0 +1,89 @@
+"""End-to-end tests for the Theorem 1.1 min-cost max-flow pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.digraph import FlowNetwork
+from repro.flow import min_cost_max_flow, networkx_min_cost_max_flow
+from repro.flow.mincostflow import theorem_round_bound
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_exact_baseline_random_networks(self, seed):
+        net = generators.random_flow_network(10, seed=seed, max_capacity=8, max_cost=6)
+        result = min_cost_max_flow(net, seed=seed, verify_against_baseline=True)
+        value, cost, _ = networkx_min_cost_max_flow(net)
+        assert result.value == pytest.approx(value)
+        assert result.cost == pytest.approx(cost)
+        assert net.is_feasible_flow(result.flow)
+
+    def test_flow_is_integral(self):
+        net = generators.random_flow_network(10, seed=21, max_capacity=5, max_cost=4)
+        result = min_cost_max_flow(net, seed=21)
+        integral = result.as_integers()
+        assert all(abs(result.flow[key] - integral[key]) < 1e-9 for key in result.flow)
+
+    def test_layered_network(self):
+        net = generators.layered_flow_network(3, 3, seed=2)
+        result = min_cost_max_flow(net, seed=2, verify_against_baseline=True)
+        value, cost, _ = networkx_min_cost_max_flow(net)
+        assert result.value == pytest.approx(value)
+        assert result.cost == pytest.approx(cost)
+
+    def test_lp_rounding_usually_succeeds_without_fallback(self):
+        fallbacks = 0
+        for seed in range(6):
+            net = generators.random_flow_network(9, seed=seed + 50, max_capacity=6, max_cost=5)
+            result = min_cost_max_flow(net, seed=seed, verify_against_baseline=True)
+            fallbacks += int(result.rounding_fallback)
+        assert fallbacks <= 1
+
+    def test_zero_max_flow(self):
+        net = FlowNetwork(4, source=0, sink=3)
+        net.add_edge(0, 1, capacity=2, cost=1)
+        net.add_edge(2, 3, capacity=2, cost=1)  # sink unreachable from source
+        result = min_cost_max_flow(net, seed=1)
+        assert result.value == 0.0
+        assert result.cost == 0.0
+
+    def test_unperturbed_mode_still_exact(self):
+        net = generators.random_flow_network(9, seed=33, max_capacity=5, max_cost=4)
+        result = min_cost_max_flow(net, seed=3, perturb=False, verify_against_baseline=True)
+        value, cost, _ = networkx_min_cost_max_flow(net)
+        assert result.cost == pytest.approx(cost)
+
+
+class TestDiagnostics:
+    def test_rounds_and_iterations_reported(self):
+        net = generators.random_flow_network(10, seed=4)
+        result = min_cost_max_flow(net, seed=4)
+        assert result.rounds > 0
+        assert result.lp_iterations > 0
+        assert result.ledger is not None
+        assert result.ledger.rounds_by_operation()["laplacian_solve"] > 0
+
+    def test_fractional_cost_close_to_exact_cost(self):
+        net = generators.random_flow_network(10, seed=5, max_capacity=6, max_cost=5)
+        result = min_cost_max_flow(net, seed=5)
+        if result.fractional_cost is not None and not result.rounding_fallback:
+            assert result.fractional_cost == pytest.approx(result.cost, rel=0.05, abs=1.0)
+
+    def test_theorem_round_bound_monotone(self):
+        assert theorem_round_bound(100, 16) > theorem_round_bound(25, 16)
+        assert theorem_round_bound(64, 64) > theorem_round_bound(64, 4)
+
+    def test_invalid_engine_rejected(self):
+        net = generators.random_flow_network(8, seed=6)
+        with pytest.raises(ValueError):
+            min_cost_max_flow(net, engine="simplex")
+
+
+class TestLeeSidfordEngine:
+    def test_small_instance_with_faithful_engine(self):
+        net = generators.random_flow_network(7, seed=7, max_capacity=4, max_cost=3)
+        result = min_cost_max_flow(net, engine="lee-sidford", seed=7, verify_against_baseline=True)
+        value, cost, _ = networkx_min_cost_max_flow(net)
+        assert result.value == pytest.approx(value)
+        assert result.cost == pytest.approx(cost)

@@ -1,0 +1,88 @@
+"""Tests for the graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+
+
+class TestDeterministicGenerators:
+    def test_path_cycle_star_complete_sizes(self):
+        assert generators.path_graph(5).m == 4
+        assert generators.cycle_graph(5).m == 5
+        assert generators.star_graph(5).m == 4
+        assert generators.complete_graph(5).m == 10
+
+    def test_cycle_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            generators.cycle_graph(2)
+
+    def test_grid_graph(self):
+        g = generators.grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical edges
+        assert g.is_connected()
+
+    def test_barbell_graph_connected(self):
+        g = generators.barbell_graph(4, path_length=2)
+        assert g.is_connected()
+        # two K_4's plus the connecting path
+        assert g.m >= 2 * 6 + 1
+
+
+class TestRandomGenerators:
+    def test_erdos_renyi_connected_by_default(self):
+        for seed in range(5):
+            g = generators.erdos_renyi(20, 0.05, seed=seed)
+            assert g.is_connected()
+
+    def test_erdos_renyi_probability_bounds(self):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi(10, 1.5)
+
+    def test_erdos_renyi_reproducible(self):
+        a = generators.erdos_renyi(15, 0.3, seed=42)
+        b = generators.erdos_renyi(15, 0.3, seed=42)
+        assert a == b
+
+    def test_random_weighted_graph_degree_scaling(self):
+        sparse = generators.random_weighted_graph(30, average_degree=3, seed=1)
+        dense = generators.random_weighted_graph(30, average_degree=12, seed=1)
+        assert dense.m > sparse.m
+
+    def test_weights_are_positive_integers_below_bound(self):
+        g = generators.random_weighted_graph(20, max_weight=9, seed=3)
+        for edge in g.edges():
+            assert 1 <= edge.weight <= 9
+            assert edge.weight == int(edge.weight)
+
+    def test_expander_has_min_degree(self):
+        g = generators.random_regular_expander(24, degree=4, seed=5)
+        assert g.is_connected()
+        assert min(g.degree(v) for v in g.vertices()) >= 1
+
+    def test_bounded_weight_generator(self):
+        g = generators.weighted_graph_with_bounded_weights(20, max_weight=64, seed=6)
+        assert g.is_connected()
+        assert g.max_weight() <= 64
+
+
+class TestFlowGenerators:
+    def test_random_flow_network_reproducible(self):
+        a = generators.random_flow_network(10, seed=7)
+        b = generators.random_flow_network(10, seed=7)
+        assert a.edge_keys() == b.edge_keys()
+        np.testing.assert_allclose(a.capacities(), b.capacities())
+        np.testing.assert_allclose(a.costs(), b.costs())
+
+    def test_no_edges_into_source_or_out_of_sink_except_backbone(self):
+        net = generators.random_flow_network(12, seed=8)
+        # the generator only adds non-backbone edges avoiding the source as head
+        for (u, v) in net.edge_keys():
+            assert v != net.source or u == net.source
+
+    def test_layered_network_is_dag_like(self):
+        import networkx as nx
+
+        net = generators.layered_flow_network(4, 3, seed=9)
+        assert nx.is_directed_acyclic_graph(net.to_networkx())

@@ -1,0 +1,81 @@
+"""Tests for the Johnson-Lindenstrauss transforms (Theorem 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.jl import (
+    achlioptas_matrix,
+    jl_sketch_dimension,
+    kane_nelson_matrix,
+    kane_nelson_random_bits,
+    sample_kane_nelson,
+    sketch_preserves_norm,
+)
+
+
+class TestDimensions:
+    def test_sketch_dimension_scales_with_eta(self):
+        assert jl_sketch_dimension(1000, 0.1) > jl_sketch_dimension(1000, 0.5)
+
+    def test_random_bits_polylogarithmic(self):
+        bits = kane_nelson_random_bits(10**6)
+        assert bits <= 10 * np.log2(10**6) ** 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jl_sketch_dimension(100, 0.0)
+        with pytest.raises(ValueError):
+            achlioptas_matrix(0, 5)
+        with pytest.raises(ValueError):
+            kane_nelson_matrix(0, 5, 1)
+
+
+class TestAchlioptas:
+    def test_entries_are_scaled_signs(self):
+        Q = achlioptas_matrix(8, 20, seed=1)
+        assert Q.shape == (8, 20)
+        np.testing.assert_allclose(np.abs(Q), 1 / np.sqrt(8))
+
+    def test_norm_preservation_statistics(self):
+        rng = np.random.default_rng(2)
+        k = jl_sketch_dimension(200, 0.5)
+        Q = achlioptas_matrix(min(k, 200), 200, seed=3)
+        hits = sum(
+            sketch_preserves_norm(Q, rng.normal(size=200), 0.5) for _ in range(50)
+        )
+        assert hits >= 45  # the distortion bound holds for the vast majority
+
+
+class TestKaneNelson:
+    def test_deterministic_given_seed(self):
+        A = kane_nelson_matrix(16, 40, seed_bits=12345)
+        B = kane_nelson_matrix(16, 40, seed_bits=12345)
+        np.testing.assert_array_equal(A, B)
+
+    def test_different_seeds_differ(self):
+        A = kane_nelson_matrix(16, 40, seed_bits=1)
+        B = kane_nelson_matrix(16, 40, seed_bits=2)
+        assert not np.array_equal(A, B)
+
+    def test_column_sparsity(self):
+        Q = kane_nelson_matrix(25, 30, seed_bits=7, column_sparsity=5)
+        nnz_per_column = np.count_nonzero(Q, axis=0)
+        assert np.all(nnz_per_column == 5)
+
+    def test_column_norms_are_one(self):
+        Q = kane_nelson_matrix(25, 30, seed_bits=9)
+        np.testing.assert_allclose(np.linalg.norm(Q, axis=0), 1.0, atol=1e-12)
+
+    def test_norm_preservation_statistics(self):
+        rng = np.random.default_rng(4)
+        m = 300
+        Q, k, _seed = sample_kane_nelson(m, eta=0.5, seed=5)
+        assert k == jl_sketch_dimension(m, 0.5)
+        hits = sum(
+            sketch_preserves_norm(Q, rng.normal(size=m), 0.5) for _ in range(50)
+        )
+        assert hits >= 40
+
+    def test_zero_vector_preserved(self):
+        Q = kane_nelson_matrix(10, 20, seed_bits=3)
+        assert sketch_preserves_norm(Q, np.zeros(20), 0.1)

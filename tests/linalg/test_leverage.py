@@ -1,0 +1,90 @@
+"""Tests for leverage scores (Algorithm 6, Lemma 4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.congest.ledger import CommunicationPrimitives
+from repro.graphs import generators, incidence_matrix
+from repro.linalg.leverage import approximate_leverage_scores, exact_leverage_scores
+
+
+class TestExactLeverageScores:
+    def test_sum_equals_rank(self):
+        rng = np.random.default_rng(0)
+        M = rng.normal(size=(40, 7))
+        scores = exact_leverage_scores(M)
+        assert scores.sum() == pytest.approx(7.0, rel=1e-9)
+
+    def test_scores_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        M = rng.normal(size=(30, 5))
+        scores = exact_leverage_scores(M)
+        assert np.all(scores >= -1e-12)
+        assert np.all(scores <= 1 + 1e-12)
+
+    def test_orthonormal_columns_uniform_rows(self):
+        Q, _ = np.linalg.qr(np.random.default_rng(2).normal(size=(20, 20)))
+        M = Q[:, :4]
+        scores = exact_leverage_scores(M)
+        np.testing.assert_allclose(scores, np.sum(M * M, axis=1), atol=1e-10)
+
+    def test_incidence_matrix_leverage_equals_effective_resistance(self):
+        """For M = W^{1/2} B the leverage score of an edge is w_e * R_eff(e)."""
+        from repro.graphs import effective_resistances
+
+        g = generators.random_weighted_graph(12, seed=3)
+        B, w = incidence_matrix(g)
+        M = np.sqrt(w)[:, None] * B
+        scores = exact_leverage_scores(M, ridge=1e-12)
+        expected = w * effective_resistances(g)
+        # both sides go through a pseudoinverse of a singular Laplacian, so the
+        # agreement is limited by its conditioning
+        np.testing.assert_allclose(scores, expected, rtol=5e-3, atol=1e-3)
+
+
+class TestApproximateLeverageScores:
+    def test_multiplicative_accuracy(self):
+        rng = np.random.default_rng(4)
+        M = rng.normal(size=(80, 6))
+        exact = exact_leverage_scores(M)
+        report = approximate_leverage_scores(M, eta=0.25, seed=5)
+        ratio = report.scores / exact
+        assert np.all(ratio >= 1 - 0.25 - 0.05)
+        assert np.all(ratio <= 1 + 0.25 + 0.05)
+
+    def test_report_contains_cost_metadata(self):
+        rng = np.random.default_rng(6)
+        M = rng.normal(size=(50, 5))
+        report = approximate_leverage_scores(M, eta=0.3, seed=7)
+        assert report.sketch_rows >= 1
+        assert report.random_bits >= 1
+        assert report.solves == report.sketch_rows
+
+    def test_rounds_charged_when_comm_given(self):
+        rng = np.random.default_rng(8)
+        M = rng.normal(size=(40, 5))
+        comm = CommunicationPrimitives(10)
+        report = approximate_leverage_scores(M, eta=0.3, seed=9, comm=comm)
+        assert report.rounds > 0
+        grouped = comm.ledger.rounds_by_operation()
+        assert "broadcast_random_bits" in grouped
+        assert "laplacian_solve" in grouped
+
+    def test_custom_gram_solver_used(self):
+        rng = np.random.default_rng(10)
+        M = rng.normal(size=(30, 4))
+        calls = []
+        gram_pinv = np.linalg.pinv(M.T @ M)
+
+        def solver(y):
+            calls.append(1)
+            return gram_pinv @ y
+
+        report = approximate_leverage_scores(M, eta=0.4, seed=11, gram_solver=solver)
+        assert len(calls) == report.sketch_rows
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            approximate_leverage_scores(np.ones((5, 2)), eta=0.0)
+        with pytest.raises(ValueError):
+            approximate_leverage_scores(np.ones(5), eta=0.1)

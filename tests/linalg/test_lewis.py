@@ -1,0 +1,121 @@
+"""Tests for ell_p Lewis weights (Definition 4.3, Algorithms 7-8, Lemma 4.6)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.leverage import exact_leverage_scores
+from repro.linalg.lewis import (
+    apx_weight_iteration_count,
+    compute_apx_weights,
+    compute_initial_weights,
+    exact_lewis_weights,
+    initial_weight_iteration_count,
+    lewis_p_parameter,
+    lewis_regularisation,
+    regularized_lewis_weights,
+)
+
+
+@pytest.fixture(scope="module")
+def tall_matrix():
+    return np.random.default_rng(0).normal(size=(50, 6))
+
+
+class TestExactLewisWeights:
+    def test_p2_equals_leverage_scores(self, tall_matrix):
+        w = exact_lewis_weights(tall_matrix, p=2.0)
+        np.testing.assert_allclose(w, exact_leverage_scores(tall_matrix), atol=1e-8)
+
+    def test_fixed_point_property(self, tall_matrix):
+        p = lewis_p_parameter(tall_matrix.shape[0])
+        w = exact_lewis_weights(tall_matrix, p)
+        reweighted = (w ** (0.5 - 1.0 / p))[:, None] * tall_matrix
+        np.testing.assert_allclose(w, exact_leverage_scores(reweighted), rtol=1e-6)
+
+    def test_sum_equals_dimension(self, tall_matrix):
+        p = 1.2
+        w = exact_lewis_weights(tall_matrix, p)
+        assert w.sum() == pytest.approx(tall_matrix.shape[1], rel=1e-4)
+
+    def test_positive(self, tall_matrix):
+        w = exact_lewis_weights(tall_matrix, 1.5)
+        assert np.all(w > 0)
+
+    def test_invalid_p(self, tall_matrix):
+        with pytest.raises(ValueError):
+            exact_lewis_weights(tall_matrix, 5.0)
+
+    def test_regularized_weights_floor(self, tall_matrix):
+        m, n = tall_matrix.shape
+        g = regularized_lewis_weights(tall_matrix)
+        assert np.all(g >= lewis_regularisation(m, n))
+
+
+class TestParameters:
+    def test_p_parameter_close_to_one(self):
+        assert 0.8 < lewis_p_parameter(100) < 1.0
+        assert lewis_p_parameter(10**6) > lewis_p_parameter(10)
+
+    def test_iteration_counts_positive(self):
+        assert apx_weight_iteration_count(1.0, 100, 0.1) >= 1
+        assert initial_weight_iteration_count(100, 400, 1.0) >= 1
+
+    def test_initial_homotopy_scales_with_sqrt_n(self):
+        assert initial_weight_iteration_count(400, 1000, 1.0) >= 1.9 * initial_weight_iteration_count(
+            100, 1000, 1.0
+        )
+
+
+class TestApproximateWeights:
+    @pytest.mark.parametrize("p", [1.0, 1.5, 2.0])
+    def test_accuracy_against_exact(self, tall_matrix, p):
+        exact = exact_lewis_weights(tall_matrix, p)
+        report = compute_apx_weights(tall_matrix, p, eta=0.05, seed=1, use_sketching=False)
+        rel = np.max(np.abs(report.weights - exact) / exact)
+        assert rel <= 0.05 + 1e-6
+
+    def test_sketched_variant_close(self, tall_matrix):
+        p = lewis_p_parameter(tall_matrix.shape[0])
+        exact = exact_lewis_weights(tall_matrix, p)
+        report = compute_apx_weights(tall_matrix, p, eta=0.1, seed=2, use_sketching=True)
+        rel = np.max(np.abs(report.weights - exact) / exact)
+        assert rel <= 0.2
+
+    def test_warm_start_respected(self, tall_matrix):
+        p = 1.3
+        exact = exact_lewis_weights(tall_matrix, p)
+        report = compute_apx_weights(
+            tall_matrix, p, w0=exact.copy(), eta=0.01, seed=3, use_sketching=False
+        )
+        rel = np.max(np.abs(report.weights - exact) / exact)
+        assert rel <= 0.01
+
+    def test_validation(self, tall_matrix):
+        with pytest.raises(ValueError):
+            compute_apx_weights(tall_matrix, 5.0)
+        with pytest.raises(ValueError):
+            compute_apx_weights(tall_matrix, 1.0, w0=np.zeros(tall_matrix.shape[0]))
+
+    def test_iteration_budget_respected(self, tall_matrix):
+        report = compute_apx_weights(
+            tall_matrix, 1.0, eta=0.1, seed=4, use_sketching=False, max_iterations=2
+        )
+        assert report.iterations <= 2
+
+
+class TestInitialWeights:
+    def test_direct_route_accuracy(self, tall_matrix):
+        p = lewis_p_parameter(tall_matrix.shape[0])
+        exact = exact_lewis_weights(tall_matrix, p)
+        report = compute_initial_weights(tall_matrix, eta=0.05, seed=5)
+        rel = np.max(np.abs(report.weights - exact) / exact)
+        assert rel <= 0.1
+
+    def test_faithful_homotopy_on_tiny_instance(self):
+        M = np.random.default_rng(6).normal(size=(12, 3))
+        p = lewis_p_parameter(12)
+        exact = exact_lewis_weights(M, p)
+        report = compute_initial_weights(M, eta=0.05, seed=7, faithful=True)
+        rel = np.max(np.abs(report.weights - exact) / exact)
+        assert rel <= 0.15
+        assert report.iterations > 0

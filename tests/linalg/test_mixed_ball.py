@@ -1,0 +1,93 @@
+"""Tests for the mixed-norm-ball projection (Section 4.3, Lemma 4.10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congest.ledger import CommunicationPrimitives
+from repro.linalg.mixed_ball import project_mixed_ball, project_mixed_ball_reference
+
+
+class TestFeasibilityAndOptimality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference_on_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=40)
+        l = rng.uniform(0.2, 4.0, size=40)
+        fast = project_mixed_ball(a, l)
+        ref = project_mixed_ball_reference(a, l)
+        assert fast.value == pytest.approx(ref.value, rel=1e-4, abs=1e-8)
+        assert fast.constraint_value(l) <= 1 + 1e-6
+
+    def test_zero_vector_input(self):
+        result = project_mixed_ball(np.zeros(5), np.ones(5))
+        assert result.value == 0.0
+        np.testing.assert_array_equal(result.x, np.zeros(5))
+
+    def test_single_coordinate(self):
+        # with one coordinate the optimum balances the two norm terms
+        result = project_mixed_ball(np.array([2.0]), np.array([1.0]))
+        assert result.constraint_value(np.array([1.0])) <= 1 + 1e-9
+        # value should beat the pure-infinity and pure-2-norm splits are equal here
+        assert result.value == pytest.approx(2.0 * 0.5, rel=1e-2)
+
+    def test_huge_l_reduces_to_euclidean_projection(self):
+        # when l is enormous the infinity term is negligible: optimum ~ ||a||_2
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=20)
+        l = 1e6 * np.ones(20)
+        result = project_mixed_ball(a, l)
+        assert result.value == pytest.approx(float(np.linalg.norm(a)), rel=1e-3)
+
+    def test_tiny_l_still_feasible(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=20)
+        l = 1e-6 * np.ones(20)
+        result = project_mixed_ball(a, l)
+        assert result.constraint_value(l) <= 1 + 1e-6
+        ref = project_mixed_ball_reference(a, l)
+        assert result.value >= ref.value - 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            project_mixed_ball(np.ones(3), np.array([1.0, -1.0, 1.0]))
+        with pytest.raises(ValueError):
+            project_mixed_ball(np.ones(3), np.ones(4))
+
+
+class TestRoundAccounting:
+    def test_rounds_charged_per_evaluation(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=25)
+        l = rng.uniform(0.5, 2.0, size=25)
+        comm = CommunicationPrimitives(10)
+        result = project_mixed_ball(a, l, comm=comm)
+        assert result.rounds > 0
+        assert result.evaluations > 0
+        grouped = comm.ledger.rounds_by_operation()
+        assert grouped["global_sum"] > 0
+
+    def test_evaluation_count_logarithmic(self):
+        rng = np.random.default_rng(6)
+        small = project_mixed_ball(rng.normal(size=10), rng.uniform(0.5, 2, 10))
+        large = project_mixed_ball(rng.normal(size=5000), rng.uniform(0.5, 2, 5000))
+        # the number of concave-search evaluations is independent of m
+        assert large.evaluations <= small.evaluations + 5
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_property_feasible_and_not_worse_than_scaled_inputs(m, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=m)
+    l = rng.uniform(0.1, 5.0, size=m)
+    result = project_mixed_ball(a, l)
+    # always feasible
+    assert result.constraint_value(l) <= 1 + 1e-6
+    # never worse than two easy feasible candidates: 0 and the scaled-a point
+    assert result.value >= -1e-12
+    candidate = a / (np.linalg.norm(a) + np.max(np.abs(a) / l) + 1e-300)
+    assert result.value >= float(a @ candidate) - 1e-6

@@ -1,0 +1,91 @@
+"""Tests for the self-concordant barrier functions (Definition 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.lp.barriers import make_barrier
+
+
+class TestConstruction:
+    def test_rejects_unbounded_coordinates(self):
+        with pytest.raises(ValueError):
+            make_barrier([-np.inf], [np.inf])
+
+    def test_rejects_empty_boxes(self):
+        with pytest.raises(ValueError):
+            make_barrier([1.0], [1.0])
+
+    def test_mixed_domains_supported(self):
+        barrier = make_barrier([0.0, -np.inf, 0.0], [np.inf, 1.0, 2.0])
+        assert barrier.m == 3
+        x = np.array([1.0, 0.0, 1.0])
+        assert np.all(np.isfinite(barrier.value(x)))
+
+
+class TestValuesAndDerivatives:
+    def test_infinite_outside_domain(self):
+        barrier = make_barrier([0.0], [1.0])
+        assert barrier.value(np.array([2.0]))[0] == np.inf
+        assert barrier.value(np.array([0.5]))[0] < np.inf
+
+    def test_blows_up_near_boundary(self):
+        barrier = make_barrier([0.0], [1.0])
+        middle = barrier.value(np.array([0.5]))[0]
+        near_edge = barrier.value(np.array([1e-9]))[0]
+        assert near_edge > middle + 10
+
+    def test_hessian_positive_inside(self):
+        barrier = make_barrier([0.0, 0.0, -np.inf], [1.0, np.inf, 5.0])
+        x = np.array([0.3, 2.0, 1.0])
+        assert np.all(barrier.hessian(x) > 0)
+
+    def test_gradient_matches_finite_differences(self):
+        barrier = make_barrier([0.0, 0.0, -np.inf], [1.0, np.inf, 5.0])
+        x = np.array([0.37, 1.7, 2.2])
+        eps = 1e-6
+        for i in range(3):
+            up = x.copy()
+            down = x.copy()
+            up[i] += eps
+            down[i] -= eps
+            numeric = (barrier.value(up)[i] - barrier.value(down)[i]) / (2 * eps)
+            assert barrier.gradient(x)[i] == pytest.approx(numeric, rel=1e-4)
+
+    def test_hessian_matches_finite_differences(self):
+        barrier = make_barrier([0.0, -np.inf], [2.0, 1.0])
+        x = np.array([0.8, -0.5])
+        eps = 1e-6
+        for i in range(2):
+            up = x.copy()
+            down = x.copy()
+            up[i] += eps
+            down[i] -= eps
+            numeric = (barrier.gradient(up)[i] - barrier.gradient(down)[i]) / (2 * eps)
+            assert barrier.hessian(x)[i] == pytest.approx(numeric, rel=1e-4)
+
+    def test_trigonometric_barrier_symmetric_about_centre(self):
+        barrier = make_barrier([0.0], [2.0])
+        left = barrier.value(np.array([0.5]))[0]
+        right = barrier.value(np.array([1.5]))[0]
+        assert left == pytest.approx(right, rel=1e-9)
+        assert barrier.gradient(np.array([1.0]))[0] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSelfConcordance:
+    @pytest.mark.parametrize(
+        "lower,upper,point",
+        [
+            ([0.0], [np.inf], [1.3]),
+            ([-np.inf], [2.0], [0.1]),
+            ([0.0], [1.0], [0.42]),
+        ],
+    )
+    def test_definition_4_1_condition_2(self, lower, upper, point):
+        barrier = make_barrier(lower, upper)
+        assert barrier.self_concordance_check(np.array(point))
+
+    def test_contains_and_centre(self):
+        barrier = make_barrier([0.0, 0.0], [1.0, np.inf])
+        assert barrier.contains(np.array([0.5, 3.0]))
+        assert not barrier.contains(np.array([1.5, 3.0]))
+        assert barrier.contains(barrier.analytic_center_start())

@@ -1,0 +1,86 @@
+"""Tests for the Lee-Sidford weighted path-following solver (Algorithms 9-11)."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.lp import LeeSidfordSolver, LPProblem
+from repro.lp.lee_sidford import lee_sidford_constants
+
+
+def small_lp(m=16, n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(m, n))
+    x_interior = rng.uniform(0.35, 0.65, size=m)
+    b = A.T @ x_interior
+    c = rng.normal(size=m)
+    problem = LPProblem(A=A, b=b, c=c, lower=np.zeros(m), upper=np.ones(m))
+    return problem, x_interior
+
+
+def scipy_optimum(problem):
+    result = linprog(
+        problem.c,
+        A_eq=problem.A.T,
+        b_eq=problem.b,
+        bounds=list(zip(problem.lower, problem.upper)),
+        method="highs",
+    )
+    assert result.success
+    return result.fun
+
+
+class TestConstants:
+    def test_paper_constants(self):
+        constants = lee_sidford_constants(m=100, n=10)
+        assert constants.c_1 == pytest.approx(15.0)
+        assert constants.c_s == 4.0
+        assert constants.c_k == pytest.approx(2 * np.log(400))
+        assert constants.C_norm == pytest.approx(24 * np.sqrt(4 * constants.c_k))
+        assert 0 < constants.R < 1
+        assert 0 < constants.p < 1
+        assert constants.c_0 == pytest.approx(10 / 200)
+
+
+class TestSolver:
+    def test_reweighted_solver_reaches_near_optimum(self):
+        problem, x0 = small_lp(seed=1)
+        reference = scipy_optimum(problem)
+        solver = LeeSidfordSolver(problem, reweight=True, seed=2)
+        solution = solver.solve(x0, eps=1e-2)
+        assert solution.converged
+        assert problem.is_feasible(solution.x, tol=1e-4)
+        assert solution.objective <= reference + 1e-2 * (1 + abs(reference))
+
+    def test_unweighted_ablation_also_converges(self):
+        problem, x0 = small_lp(seed=3)
+        reference = scipy_optimum(problem)
+        solver = LeeSidfordSolver(problem, reweight=False, seed=4)
+        solution = solver.solve(x0, eps=1e-2)
+        assert solution.converged
+        assert solution.objective <= reference + 1e-2 * (1 + abs(reference))
+
+    def test_objective_improves_over_start(self):
+        problem, x0 = small_lp(seed=5)
+        solver = LeeSidfordSolver(problem, reweight=False, seed=6)
+        solution = solver.solve(x0, eps=1e-2)
+        assert solution.objective < problem.objective(x0)
+
+    def test_requires_interior_start(self):
+        problem, _ = small_lp(seed=7)
+        solver = LeeSidfordSolver(problem, seed=8)
+        with pytest.raises(ValueError, match="strictly feasible"):
+            solver.solve(np.zeros(problem.m))
+
+    def test_iteration_bound_scales_with_sqrt_n(self):
+        problem, _ = small_lp(m=20, n=4, seed=9)
+        solver = LeeSidfordSolver(problem)
+        assert solver.iteration_bound(1e-3) < solver.iteration_bound(1e-9)
+
+    def test_report_counts_steps(self):
+        problem, x0 = small_lp(seed=10)
+        solver = LeeSidfordSolver(problem, reweight=False, seed=11)
+        solver.solve(x0, eps=1e-1)
+        assert solver.report.path_following_steps > 0
+        assert solver.report.centering_steps >= solver.report.path_following_steps
+        assert solver.report.gram_solves > 0

@@ -1,0 +1,146 @@
+"""Tests for preconditioned Chebyshev iteration (Theorem 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators, laplacian_matrix
+from repro.solvers.chebyshev import (
+    chebyshev_error_bound,
+    chebyshev_iteration_count,
+    preconditioned_chebyshev,
+)
+
+
+def spd_system(n, condition, seed=0):
+    rng = np.random.default_rng(seed)
+    Q, _ = np.linalg.qr(rng.normal(size=(n, n)))
+    eigenvalues = np.linspace(1.0, condition, n)
+    A = Q @ np.diag(eigenvalues) @ Q.T
+    x = rng.normal(size=n)
+    return A, x, A @ x
+
+
+class TestIterationCount:
+    def test_scales_with_sqrt_kappa(self):
+        assert chebyshev_iteration_count(100.0, 1e-3) >= 2 * chebyshev_iteration_count(4.0, 1e-3)
+
+    def test_scales_with_log_eps(self):
+        assert chebyshev_iteration_count(4.0, 1e-8) > chebyshev_iteration_count(4.0, 1e-2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chebyshev_iteration_count(0.5, 1e-3)
+        with pytest.raises(ValueError):
+            chebyshev_iteration_count(2.0, 0.9)
+
+    def test_error_bound_decreases(self):
+        assert chebyshev_error_bound(10.0, 20) < chebyshev_error_bound(10.0, 5)
+        assert chebyshev_error_bound(1.0, 3) == 0.0
+
+
+class TestSPDSystems:
+    def test_identity_preconditioner_with_true_kappa(self):
+        A, x_true, b = spd_system(20, condition=50.0, seed=1)
+        # B = lambda_max * I satisfies A <= B <= kappa A with kappa = 50
+        x, report = preconditioned_chebyshev(
+            apply_A=lambda v: A @ v,
+            solve_B=lambda r: r / 50.0,
+            b=b,
+            kappa=50.0,
+            eps=1e-8,
+        )
+        assert np.linalg.norm(x - x_true) / np.linalg.norm(x_true) < 1e-6
+        assert report.iterations <= chebyshev_iteration_count(50.0, 1e-8)
+
+    def test_exact_preconditioner_converges_immediately(self):
+        A, x_true, b = spd_system(15, condition=100.0, seed=2)
+        A_inv = np.linalg.inv(A)
+        x, report = preconditioned_chebyshev(
+            apply_A=lambda v: A @ v,
+            solve_B=lambda r: A_inv @ r,
+            b=b,
+            kappa=1.0,
+            eps=1e-10,
+        )
+        assert np.linalg.norm(x - x_true) / np.linalg.norm(x_true) < 1e-9
+        assert report.iterations == 1
+
+    def test_convergence_rate_beats_theory_bound(self):
+        A, x_true, b = spd_system(25, condition=30.0, seed=3)
+        iterations = 25
+        x, _ = preconditioned_chebyshev(
+            apply_A=lambda v: A @ v,
+            solve_B=lambda r: r / 30.0,
+            b=b,
+            kappa=30.0,
+            eps=1e-12,
+            max_iterations=iterations,
+        )
+        a_norm = lambda v: float(np.sqrt(v @ A @ v))
+        error = a_norm(x - x_true) / a_norm(x_true)
+        assert error <= chebyshev_error_bound(30.0, iterations) + 1e-12
+
+    def test_residual_early_stop(self):
+        A, x_true, b = spd_system(20, condition=20.0, seed=4)
+        x, report = preconditioned_chebyshev(
+            apply_A=lambda v: A @ v,
+            solve_B=lambda r: r / 20.0,
+            b=b,
+            kappa=20.0,
+            eps=1e-12,
+            residual_stop=1e-3,
+        )
+        assert report.final_residual <= 1e-3
+        assert report.iterations < chebyshev_iteration_count(20.0, 1e-12)
+
+    def test_report_counts_operations(self):
+        A, _x, b = spd_system(10, condition=10.0, seed=5)
+        _x2, report = preconditioned_chebyshev(
+            apply_A=lambda v: A @ v,
+            solve_B=lambda r: r / 10.0,
+            b=b,
+            kappa=10.0,
+            eps=1e-6,
+        )
+        assert report.matvec_count >= report.iterations
+        assert report.preconditioner_solves >= 1
+
+
+class TestLaplacianSystems:
+    def test_singular_laplacian_with_pinv_preconditioner(self):
+        g = generators.random_weighted_graph(20, seed=6)
+        L = laplacian_matrix(g)
+        rng = np.random.default_rng(7)
+        x_true = rng.normal(size=g.n)
+        x_true -= x_true.mean()
+        b = L @ x_true
+        L_pinv = np.linalg.pinv(L)
+        x, _report = preconditioned_chebyshev(
+            apply_A=lambda v: L @ v,
+            solve_B=lambda r: L_pinv @ r,
+            b=b,
+            kappa=1.0,
+            eps=1e-10,
+        )
+        assert np.linalg.norm(x - x_true) / np.linalg.norm(x_true) < 1e-8
+
+    def test_sparsifier_style_preconditioner_kappa3(self):
+        """Corollary 2.4's setting: B = 1.5 * L_H with H = G (exact sparsifier)."""
+        g = generators.random_weighted_graph(18, seed=8)
+        L = laplacian_matrix(g)
+        B = 1.5 * L
+        B_pinv = np.linalg.pinv(B)
+        rng = np.random.default_rng(9)
+        x_true = rng.normal(size=g.n)
+        x_true -= x_true.mean()
+        b = L @ x_true
+        x, report = preconditioned_chebyshev(
+            apply_A=lambda v: L @ v,
+            solve_B=lambda r: B_pinv @ r,
+            b=b,
+            kappa=3.0,
+            eps=1e-9,
+        )
+        a_norm = lambda v: float(np.sqrt(max(0.0, v @ L @ v)))
+        assert a_norm(x - x_true) <= 1e-9 * a_norm(x_true) + 1e-12
+        assert report.iterations <= chebyshev_iteration_count(3.0, 1e-9)

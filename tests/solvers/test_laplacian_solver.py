@@ -1,0 +1,110 @@
+"""Tests for the Broadcast Congested Clique Laplacian solver (Theorem 1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators, laplacian_matrix
+from repro.graphs.laplacian import laplacian_norm
+from repro.solvers import BCCLaplacianSolver
+
+
+@pytest.fixture(scope="module")
+def solver_graph():
+    return generators.random_weighted_graph(24, average_degree=6, max_weight=8, seed=5)
+
+
+@pytest.fixture(scope="module")
+def solver(solver_graph):
+    # t_override keeps preprocessing fast; the solver then measures the actual
+    # preconditioner quality and still meets the accuracy contract.
+    return BCCLaplacianSolver(solver_graph, seed=1, t_override=2)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("eps", [1e-2, 1e-4, 1e-8])
+    def test_error_bound_in_laplacian_norm(self, solver, solver_graph, eps):
+        rng = np.random.default_rng(3)
+        b = rng.normal(size=solver_graph.n)
+        report = solver.solve(b, eps=eps, check=True)
+        assert report.error_bound_holds
+        assert report.measured_relative_error <= eps
+
+    def test_paper_parameters_also_meet_bound(self):
+        g = generators.random_weighted_graph(16, average_degree=5, seed=7)
+        solver = BCCLaplacianSolver(g, seed=2)
+        rng = np.random.default_rng(4)
+        b = rng.normal(size=g.n)
+        report = solver.solve(b, eps=1e-6, check=True)
+        assert report.error_bound_holds
+
+    def test_exact_preconditioner_mode(self, solver_graph):
+        solver = BCCLaplacianSolver(solver_graph, exact_preconditioner=True)
+        rng = np.random.default_rng(5)
+        b = rng.normal(size=solver_graph.n)
+        report = solver.solve(b, eps=1e-10, check=True)
+        assert report.error_bound_holds
+        assert solver.preprocessing.kappa == 1.0
+
+    def test_solution_orthogonal_to_ones(self, solver, solver_graph):
+        rng = np.random.default_rng(6)
+        b = rng.normal(size=solver_graph.n)
+        report = solver.solve(b, eps=1e-6)
+        # the Chebyshev iterates stay in the range of L (b was projected)
+        assert abs(np.mean(report.solution)) < 1e-6 * (1 + np.linalg.norm(report.solution))
+
+    def test_exact_solution_reference(self, solver, solver_graph):
+        rng = np.random.default_rng(7)
+        b = rng.normal(size=solver_graph.n)
+        x = solver.exact_solution(b)
+        L = laplacian_matrix(solver_graph)
+        b_projected = b - np.mean(b)
+        np.testing.assert_allclose(L @ x, b_projected, atol=1e-8)
+
+
+class TestRounds:
+    def test_rounds_grow_with_precision(self, solver, solver_graph):
+        rng = np.random.default_rng(8)
+        b = rng.normal(size=solver_graph.n)
+        cheap = solver.solve(b, eps=1e-2)
+        precise = solver.solve(b, eps=1e-8)
+        assert precise.rounds >= cheap.rounds
+        assert precise.chebyshev.iterations >= cheap.chebyshev.iterations
+
+    def test_preprocessing_recorded_once(self, solver):
+        assert solver.preprocessing.rounds > 0
+        assert solver.preprocessing.sparsifier_edges > 0
+
+    def test_theorem_bounds_are_finite(self, solver):
+        assert np.isfinite(solver.preprocessing_round_bound())
+        assert solver.per_instance_round_bound(1e-6) > solver.per_instance_round_bound(1e-2) * 0.5
+
+    def test_ledger_tracks_matvecs(self, solver_graph):
+        solver = BCCLaplacianSolver(solver_graph, seed=3, t_override=2)
+        rng = np.random.default_rng(9)
+        solver.solve(rng.normal(size=solver_graph.n), eps=1e-4)
+        grouped = solver.ledger.rounds_by_operation()
+        assert "matvec" in grouped
+        assert grouped["matvec"] > 0
+
+
+class TestValidation:
+    def test_disconnected_graph_rejected(self):
+        from repro.graphs.graph import WeightedGraph
+
+        g = WeightedGraph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(ValueError, match="connected"):
+            BCCLaplacianSolver(g)
+
+    def test_bad_eps_rejected(self, solver, solver_graph):
+        with pytest.raises(ValueError):
+            solver.solve(np.zeros(solver_graph.n), eps=0.9)
+
+    def test_bad_rhs_shape_rejected(self, solver):
+        with pytest.raises(ValueError):
+            solver.solve(np.zeros(3), eps=1e-3)
+
+    def test_solve_many(self, solver, solver_graph):
+        rng = np.random.default_rng(10)
+        rhs = [rng.normal(size=solver_graph.n) for _ in range(3)]
+        reports = solver.solve_many(rhs, eps=1e-4)
+        assert len(reports) == 3

@@ -1,0 +1,88 @@
+"""Tests for the classical Baswana-Sen spanner (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.spanners.baswana_sen import baswana_sen_spanner
+
+
+def check_stretch(graph, spanner_graph, bound):
+    """Maximum multiplicative stretch of spanner distances over graph distances."""
+    dG = graph.all_pairs_shortest_paths()
+    dS = spanner_graph.all_pairs_shortest_paths()
+    mask = np.isfinite(dG) & (dG > 0)
+    assert np.all(np.isfinite(dS[mask])), "spanner must preserve connectivity"
+    return float(np.max(dS[mask] / dG[mask]))
+
+
+class TestStretch:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_stretch_bound_random_graphs(self, k):
+        for seed in range(3):
+            g = generators.random_weighted_graph(25, average_degree=6, max_weight=8, seed=seed)
+            result = baswana_sen_spanner(g, k=k, seed=seed + 100)
+            stretch = check_stretch(g, result.spanner_graph(g), 2 * k - 1)
+            assert stretch <= 2 * k - 1 + 1e-9
+
+    def test_stretch_bound_unweighted_dense_graph(self):
+        g = generators.erdos_renyi(30, 0.5, max_weight=1, seed=5)
+        result = baswana_sen_spanner(g, k=3, seed=7)
+        assert check_stretch(g, result.spanner_graph(g), 5) <= 5 + 1e-9
+
+    def test_k1_returns_whole_graph(self):
+        g = generators.random_weighted_graph(15, seed=1)
+        result = baswana_sen_spanner(g, k=1, seed=2)
+        assert result.spanner_edges == {e.key for e in g.edges()}
+
+    def test_tree_input_is_preserved(self):
+        g = generators.path_graph(10)
+        result = baswana_sen_spanner(g, k=3, seed=3)
+        # a tree is its own unique spanner: all edges must survive
+        assert result.spanner_edges == {e.key for e in g.edges()}
+
+
+class TestSize:
+    def test_spanner_is_subgraph(self):
+        g = generators.random_weighted_graph(30, seed=4)
+        result = baswana_sen_spanner(g, k=3, seed=5)
+        graph_edges = {e.key for e in g.edges()}
+        assert result.spanner_edges <= graph_edges
+
+    def test_spanner_smaller_than_dense_graph(self):
+        g = generators.complete_graph(40)
+        sizes = []
+        for seed in range(5):
+            result = baswana_sen_spanner(g, k=2, seed=seed)
+            sizes.append(len(result.spanner_edges))
+        # expectation is O(k n^{1+1/k}) = O(2 * 40^{1.5}) ~ 500 << 780
+        assert np.mean(sizes) < g.m
+
+    def test_invalid_k(self):
+        g = generators.path_graph(5)
+        with pytest.raises(ValueError):
+            baswana_sen_spanner(g, k=0)
+
+
+class TestDeterminism:
+    def test_fixed_seed_reproducible(self):
+        g = generators.random_weighted_graph(20, seed=6)
+        a = baswana_sen_spanner(g, k=3, seed=9)
+        b = baswana_sen_spanner(g, k=3, seed=9)
+        assert a.spanner_edges == b.spanner_edges
+
+    def test_marking_bits_control_clustering(self):
+        g = generators.complete_graph(6)
+        # never mark anything: every vertex leaves in phase 1 and connects to
+        # every neighbouring singleton cluster => the full graph is returned
+        bits = [{v: False for v in range(6)}]
+        result = baswana_sen_spanner(g, k=2, marking_bits=bits)
+        assert result.spanner_edges == {e.key for e in g.edges()}
+
+    def test_marking_everything_keeps_clusters_singleton(self):
+        g = generators.complete_graph(6)
+        bits = [{v: True for v in range(6)}]
+        result = baswana_sen_spanner(g, k=2, marking_bits=bits)
+        # all clusters marked: nothing happens in the phase, the final step
+        # connects every vertex to every other cluster -> whole graph again
+        assert result.spanner_edges == {e.key for e in g.edges()}

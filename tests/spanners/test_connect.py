@@ -1,0 +1,99 @@
+"""Tests for the Connect procedure (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spanners.connect import ConnectResult, connect, sort_candidates
+
+
+class TestSorting:
+    def test_sorts_by_weight_then_id(self):
+        weights = {3: 2.0, 1: 1.0, 2: 1.0}
+        assert sort_candidates([3, 1, 2], weights) == [1, 2, 3]
+
+    def test_empty_candidates(self):
+        assert sort_candidates([], {}) == []
+
+
+class TestConnectDeterministic:
+    def test_probability_one_accepts_lightest(self, rng):
+        weights = {5: 3.0, 7: 1.0, 2: 2.0}
+        probs = {u: 1.0 for u in weights}
+        result = connect([5, 7, 2], weights, probs, rng)
+        assert result.accepted == 7
+        assert result.accepted_weight == 1.0
+        assert result.rejected == []
+        assert not result.is_bottom
+
+    def test_probability_zero_rejects_everything(self, rng):
+        weights = {1: 1.0, 2: 2.0}
+        probs = {1: 0.0, 2: 0.0}
+        result = connect([1, 2], weights, probs, rng)
+        assert result.is_bottom
+        assert result.rejected == [1, 2]
+
+    def test_empty_input_returns_bottom(self, rng):
+        result = connect([], {}, {}, rng)
+        assert result.is_bottom
+        assert result.rejected == []
+
+    def test_partial_probabilities(self, rng):
+        # first candidate never exists, second always does
+        weights = {1: 1.0, 2: 2.0, 3: 3.0}
+        probs = {1: 0.0, 2: 1.0, 3: 0.5}
+        result = connect([1, 2, 3], weights, probs, rng)
+        assert result.accepted == 2
+        assert result.rejected == [1]
+        # the third candidate was never inspected
+        assert 3 not in result.tried
+
+    def test_invalid_probability_rejected(self, rng):
+        with pytest.raises(ValueError):
+            connect([1], {1: 1.0}, {1: 1.5}, rng)
+
+
+class TestConnectStatistics:
+    def test_acceptance_rate_matches_probability(self):
+        """A single candidate with probability p is accepted ~p of the time."""
+        rng = np.random.default_rng(0)
+        p = 0.3
+        accepted = 0
+        trials = 4000
+        for _ in range(trials):
+            result = connect([1], {1: 1.0}, {1: p}, rng)
+            if not result.is_bottom:
+                accepted += 1
+        assert accepted / trials == pytest.approx(p, abs=0.03)
+
+    def test_rejected_prefix_property(self):
+        """Everything rejected sorts strictly before the accepted candidate."""
+        rng = np.random.default_rng(1)
+        weights = {u: float(u % 5 + 1) for u in range(1, 11)}
+        probs = {u: 0.4 for u in weights}
+        for _ in range(200):
+            result = connect(list(weights), weights, probs, rng)
+            if result.is_bottom:
+                assert set(result.rejected) == set(weights)
+                continue
+            accepted_key = (weights[result.accepted], result.accepted)
+            for u in result.rejected:
+                assert (weights[u], u) < accepted_key
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=10, unique=True),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_property_tried_is_prefix_of_sorted_order(candidates, seed):
+    rng = np.random.default_rng(seed)
+    weights = {u: float((u * 7) % 4 + 1) for u in candidates}
+    probs = {u: ((u * 13) % 10) / 10.0 for u in candidates}
+    result = connect(candidates, weights, probs, rng)
+    ordered = sort_candidates(candidates, weights)
+    assert result.tried == ordered[: len(result.tried)]
+    assert set(result.rejected) <= set(result.tried)
+    if result.accepted is not None:
+        assert result.tried[-1] == result.accepted
+        assert result.rejected == result.tried[:-1]

@@ -1,0 +1,150 @@
+"""Tests for the probabilistic spanner of Section 3.1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators
+from repro.spanners.probabilistic import ProbabilisticSpanner, probabilistic_spanner
+
+
+def max_stretch(reference_graph, spanner_graph):
+    dR = reference_graph.all_pairs_shortest_paths()
+    dS = spanner_graph.all_pairs_shortest_paths()
+    mask = np.isfinite(dR) & (dR > 0)
+    if not np.any(mask):
+        return 1.0
+    assert np.all(np.isfinite(dS[mask])), "spanner must connect what the reference connects"
+    return float(np.max(dS[mask] / dR[mask]))
+
+
+class TestDeterministicCase:
+    """With p === 1 the algorithm is the Baswana-Sen algorithm (Lemma 3.1)."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_stretch_bound(self, k):
+        for seed in range(3):
+            g = generators.random_weighted_graph(22, average_degree=6, max_weight=8, seed=seed)
+            result = probabilistic_spanner(g, k=k, seed=seed + 50)
+            assert len(result.f_minus) == 0
+            stretch = max_stretch(g, result.spanner_graph(g))
+            assert stretch <= 2 * k - 1 + 1e-9
+
+    def test_unweighted_graph_stretch(self):
+        g = generators.erdos_renyi(24, 0.4, max_weight=1, seed=11)
+        result = probabilistic_spanner(g, k=3, seed=3)
+        assert max_stretch(g, result.spanner_graph(g)) <= 5 + 1e-9
+
+    def test_spanner_connected_when_input_connected(self):
+        g = generators.random_weighted_graph(30, seed=13)
+        result = probabilistic_spanner(g, k=4, seed=17)
+        assert result.spanner_graph(g).is_connected()
+
+    def test_size_smaller_than_complete_graph(self):
+        g = generators.complete_graph(36)
+        sizes = [
+            len(probabilistic_spanner(g, k=2, seed=s).f_plus) for s in range(4)
+        ]
+        assert np.mean(sizes) < g.m
+
+    def test_rounds_positive_and_recorded(self):
+        g = generators.random_weighted_graph(20, seed=19)
+        result = probabilistic_spanner(g, k=3, seed=23)
+        assert result.rounds > 0
+        assert len(result.broadcasts) > 0
+
+
+class TestProbabilisticCase:
+    def test_partition_into_fplus_fminus(self):
+        g = generators.random_weighted_graph(24, average_degree=7, seed=2)
+        probs = {e.key: 0.5 for e in g.edges()}
+        result = probabilistic_spanner(g, probabilities=probs, k=3, seed=5)
+        assert result.f_plus.isdisjoint(result.f_minus)
+        all_edges = {e.key for e in g.edges()}
+        assert result.f_plus <= all_edges
+        assert result.f_minus <= all_edges
+
+    def test_per_vertex_views_consistent(self):
+        g = generators.random_weighted_graph(20, seed=3)
+        probs = {e.key: 0.6 for e in g.edges()}
+        result = probabilistic_spanner(g, probabilities=probs, k=3, seed=7)
+        for v in range(g.n):
+            for u in result.f_plus_of[v]:
+                assert tuple(sorted((u, v))) in result.f_plus
+                assert v in result.f_plus_of[u]
+            for u in result.f_minus_of[v]:
+                assert tuple(sorted((u, v))) in result.f_minus
+                assert v in result.f_minus_of[u]
+
+    def test_zero_probability_puts_every_decided_edge_in_fminus(self):
+        g = generators.random_weighted_graph(15, seed=4)
+        probs = {e.key: 0.0 for e in g.edges()}
+        result = probabilistic_spanner(g, probabilities=probs, k=2, seed=9)
+        assert result.f_plus == set()
+        assert len(result.f_minus) > 0
+
+    def test_stretch_against_fplus_union_undecided(self):
+        """Lemma 3.1: S = (V, F+) spans (V, F+ | E'') for any E'' inside E \\ F."""
+        rng = np.random.default_rng(31)
+        for seed in range(3):
+            g = generators.random_weighted_graph(20, average_degree=6, seed=seed)
+            probs = {e.key: 0.5 for e in g.edges()}
+            result = probabilistic_spanner(g, probabilities=probs, k=3, seed=seed + 7)
+            undecided = [e.key for e in g.edges() if e.key not in result.f]
+            subset = [key for key in undecided if rng.random() < 0.5]
+            reference = g.subgraph_with_edges(list(result.f_plus) + subset)
+            assert max_stretch(reference, result.spanner_graph(g)) <= 5 + 1e-9
+
+    def test_acceptance_rate_tracks_probability(self):
+        """Each decided edge lands in F+ with its maintained probability."""
+        g = generators.complete_graph(8)
+        p = 0.3
+        probs = {e.key: p for e in g.edges()}
+        in_plus = 0
+        decided = 0
+        for seed in range(300):
+            result = probabilistic_spanner(g, probabilities=probs, k=2, seed=seed)
+            in_plus += len(result.f_plus)
+            decided += len(result.f)
+        assert decided > 0
+        assert in_plus / decided == pytest.approx(p, abs=0.06)
+
+    def test_orientation_covers_all_spanner_edges(self):
+        g = generators.random_weighted_graph(25, seed=6)
+        result = probabilistic_spanner(g, k=3, seed=8)
+        assert set(result.orientation) == result.f_plus
+        for key, (tail, head) in result.orientation.items():
+            assert {tail, head} == set(key)
+
+    def test_max_out_degree_reported(self):
+        g = generators.random_weighted_graph(25, seed=10)
+        result = probabilistic_spanner(g, k=3, seed=12)
+        degrees = result.out_degrees()
+        assert result.max_out_degree() == max(degrees.values())
+        assert sum(degrees.values()) == len(result.f_plus)
+
+
+class TestValidation:
+    def test_invalid_k(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            ProbabilisticSpanner(g, k=0)
+
+    def test_invalid_probability(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            ProbabilisticSpanner(g, probabilities={(0, 1): 2.0}, k=2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=5, max_value=16),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_property_fplus_always_spans_connected_input(n, k, seed):
+    g = generators.random_weighted_graph(n, average_degree=4, seed=seed)
+    result = probabilistic_spanner(g, k=k, seed=seed + 1)
+    spanner = result.spanner_graph(g)
+    assert spanner.is_connected()
+    assert max_stretch(g, spanner) <= 2 * k - 1 + 1e-9
