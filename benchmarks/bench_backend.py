@@ -1,0 +1,99 @@
+"""E-backend -- dense vs sparse Laplacian backend smoke benchmark.
+
+Asserts that the sparse CSR path is actually faster than the dense reference
+above a size threshold, so a perf regression in the backend fails loudly
+instead of silently re-capping the pipeline at toy sizes.  Runs both as a
+pytest-benchmark module and as a plain script:
+
+    PYTHONPATH=src python benchmarks/bench_backend.py
+
+The workload is a 2-D grid (good separators: the regime sparse direct solvers
+are built for) at a size where the dense path's ``n^3`` pseudoinverse is
+already clearly behind the grounded ``splu`` factorisation.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.graphs import effective_resistances, generators, laplacian_matrix
+from repro.solvers import BCCLaplacianSolver
+
+#: grid side: n = SIDE^2 vertices, m ~ 2 n edges
+SIDE = 40
+
+#: sparse must beat dense by at least this factor at the benchmark size
+SPEEDUP_FLOOR = 2.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_smoke(side: int = SIDE, speedup_floor: float = SPEEDUP_FLOOR) -> dict:
+    """Time dense vs sparse effective resistances; return the measurements."""
+    graph = generators.grid_graph(side, side)
+    sparse_res, sparse_time = _timed(lambda: effective_resistances(graph, backend="sparse"))
+    dense_res, dense_time = _timed(lambda: effective_resistances(graph, backend="dense"))
+    np.testing.assert_allclose(sparse_res, dense_res, atol=1e-8)
+    return {
+        "n": graph.n,
+        "m": graph.m,
+        "dense_seconds": dense_time,
+        "sparse_seconds": sparse_time,
+        "speedup": dense_time / max(sparse_time, 1e-12),
+        "speedup_floor": speedup_floor,
+    }
+
+
+def test_sparse_effective_resistances_beat_dense(benchmark):
+    graph = generators.grid_graph(SIDE, SIDE)
+    benchmark(lambda: effective_resistances(graph, backend="sparse"))
+    stats = run_smoke()
+    for key, value in stats.items():
+        benchmark.extra_info[key] = value
+    assert stats["speedup"] >= SPEEDUP_FLOOR, (
+        f"sparse backend no longer faster than dense at n={stats['n']}: "
+        f"{stats['sparse_seconds']:.3f}s vs {stats['dense_seconds']:.3f}s"
+    )
+
+
+def test_sparse_solver_beats_dense_preconditioner_setup(benchmark):
+    """Solver preprocessing: grounded splu vs dense pseudoinverse."""
+    graph = generators.grid_graph(SIDE, SIDE)
+    rng = np.random.default_rng(0)
+    b = rng.normal(size=graph.n)
+
+    def run(backend):
+        solver = BCCLaplacianSolver(graph, exact_preconditioner=True, backend=backend)
+        return solver.solve(b, eps=1e-8, check=False)
+
+    report = benchmark(lambda: run("sparse"))
+    _, sparse_time = _timed(lambda: run("sparse"))
+    _, dense_time = _timed(lambda: run("dense"))
+    benchmark.extra_info["sparse_seconds"] = sparse_time
+    benchmark.extra_info["dense_seconds"] = dense_time
+    benchmark.extra_info["chebyshev_iterations"] = report.chebyshev.iterations
+    assert sparse_time < dense_time, (
+        f"sparse solver setup+solve slower than dense at n={graph.n}: "
+        f"{sparse_time:.3f}s vs {dense_time:.3f}s"
+    )
+
+
+def main():
+    stats = run_smoke()
+    print(
+        f"grid {SIDE}x{SIDE} (n={stats['n']}, m={stats['m']}): "
+        f"dense {stats['dense_seconds']:.3f}s, sparse {stats['sparse_seconds']:.3f}s, "
+        f"speedup {stats['speedup']:.1f}x (floor {stats['speedup_floor']}x)"
+    )
+    if stats["speedup"] < stats["speedup_floor"]:
+        raise SystemExit("FAIL: sparse backend slower than the asserted floor")
+    print("PASS")
+
+
+if __name__ == "__main__":
+    main()

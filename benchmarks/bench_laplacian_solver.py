@@ -39,3 +39,27 @@ def test_preprocessing_rounds(benchmark):
         solver.preprocessing_round_bound()
     )
     benchmark.extra_info["sparsifier_edges"] = solver.preprocessing.sparsifier_edges
+
+
+@pytest.mark.parametrize("n", [2000, 5000])
+def test_large_instance_sparse_backend(benchmark, n):
+    """The sizes the dense path cannot touch: n >= 2000, m >= 10000.
+
+    Runs one high-precision solve end to end on the sparse CSR backend
+    (grounded splu preconditioner); the dense path at n=5000 would need a
+    ~200 MB Laplacian plus an O(n^3) pseudoinverse.
+    """
+    graph = generators.random_weighted_graph(n, average_degree=11.0, max_weight=16, seed=5)
+    rng = np.random.default_rng(7)
+    b = rng.normal(size=graph.n)
+
+    def run():
+        solver = BCCLaplacianSolver(graph, exact_preconditioner=True, backend="sparse")
+        return solver.solve(b, eps=1e-8, check=True)
+
+    report = benchmark(run)
+    benchmark.extra_info["n"] = graph.n
+    benchmark.extra_info["m"] = graph.m
+    benchmark.extra_info["relative_error_measured"] = float(report.measured_relative_error)
+    benchmark.extra_info["error_bound_holds"] = bool(report.error_bound_holds)
+    assert report.error_bound_holds

@@ -26,3 +26,28 @@ def test_leverage_score_accuracy_and_cost(benchmark, eta, rng):
     benchmark.extra_info["random_bits_bound_O(log^2 m)"] = kane_nelson_random_bits(120)
     benchmark.extra_info["rounds_measured"] = report.rounds
     assert np.max(np.abs(ratio - 1)) <= eta + 0.05
+
+
+def test_leverage_scores_sparse_incidence(benchmark):
+    """Graph-structured M = W^{1/2} B as a CSR matrix (the LP solver's shape).
+
+    The sparse path never materialises the m x n dense incidence matrix; every
+    product in Algorithm 6 stays a sparse matvec.
+    """
+    import scipy.sparse as sp
+
+    from repro.graphs import generators
+    from repro.linalg import incidence_csr
+
+    graph = generators.grid_graph(30, 30)
+    B, w = incidence_csr(graph)
+    M = sp.diags(np.sqrt(w)) @ B
+    exact = exact_leverage_scores(M)
+
+    report = benchmark(lambda: approximate_leverage_scores(M, eta=0.5, seed=13))
+    ratio = report.scores / exact
+    benchmark.extra_info["m"] = M.shape[0]
+    benchmark.extra_info["n"] = M.shape[1]
+    benchmark.extra_info["max_multiplicative_error"] = float(np.max(np.abs(ratio - 1)))
+    benchmark.extra_info["sketch_rows_k"] = report.sketch_rows
+    assert np.max(np.abs(ratio - 1)) <= 0.55

@@ -38,3 +38,20 @@ def test_sparsifier_quality_vs_bundle_size(benchmark, t):
     benchmark.extra_info["t"] = t
     benchmark.extra_info["edges"] = result.size
     benchmark.extra_info["spectral_window"] = [round(lo, 3), round(hi, 3)]
+    # degenerate outputs (empty/disconnected) are reported as failures now,
+    # never silently certified
+    benchmark.extra_info["certified_eps_0.5"] = result.certify(graph, eps=0.5)
+
+
+def test_sparsifier_large_instance(benchmark):
+    """Sparsification at 10-20x the seed benchmark sizes (edge-array hot loops).
+
+    Certification at this n goes through the dense eigensolver and is the slow
+    part, so the benchmark times the sparsify call alone and certifies once.
+    """
+    graph = generators.random_weighted_graph(1024, average_degree=8, max_weight=8, seed=5)
+    result = benchmark(lambda: spectral_sparsify(graph, eps=0.5, seed=6, t_override=4))
+    benchmark.extra_info["n"] = graph.n
+    benchmark.extra_info["m"] = graph.m
+    benchmark.extra_info["sparsifier_edges"] = result.size
+    benchmark.extra_info["rounds_measured"] = result.rounds

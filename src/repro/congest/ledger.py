@@ -171,10 +171,14 @@ class CommunicationPrimitives:
 
     # -- numerical convenience wrappers ---------------------------------------
 
-    def distributed_matvec(self, matrix: np.ndarray, vector: np.ndarray, detail: str = "") -> np.ndarray:
-        """Compute ``matrix @ vector`` while charging one matvec primitive."""
+    def distributed_matvec(self, matrix, vector: np.ndarray, detail: str = "") -> np.ndarray:
+        """Compute ``matrix @ vector`` while charging one matvec primitive.
+
+        ``matrix`` may be a dense ndarray or a scipy sparse matrix; the round
+        charge is identical (each vertex broadcasts one coordinate either way).
+        """
         self.matvec(detail)
-        return np.asarray(matrix) @ np.asarray(vector)
+        return matrix @ np.asarray(vector)
 
     def distributed_sum(self, values: np.ndarray, detail: str = "") -> float:
         """Sum locally-held values while charging one global_sum primitive."""

@@ -24,16 +24,28 @@ def _rng(seed: RngLike) -> np.random.Generator:
 
 
 def _connect_components(graph: WeightedGraph, rng: np.random.Generator, max_weight: float) -> None:
-    """Add random edges between components until the graph is connected."""
+    """Add random edges between components in one sweep until connected.
+
+    One components pass instead of the previous quadratic recompute-per-edge
+    loop.  The rng call sequence is kept identical to the old implementation
+    (seed stability): each step draws ``choice`` over the sorted merged
+    component (which always contains vertex 0, hence always comes first in a
+    recomputed component list), then ``choice`` over the sorted next component,
+    then ``integers`` for the weight.
+    """
     components = graph.connected_components()
-    while len(components) > 1:
-        first = sorted(components[0])
-        second = sorted(components[1])
-        u = int(rng.choice(first))
+    if len(components) <= 1:
+        return
+    merged = sorted(components[0])
+    merged_set = set(components[0])
+    for component in components[1:]:
+        second = sorted(component)
+        u = int(rng.choice(merged))
         v = int(rng.choice(second))
         weight = float(rng.integers(1, max(2, int(max_weight)) + 1))
         graph.add_edge(u, v, weight)
-        components = graph.connected_components()
+        merged_set |= component
+        merged = sorted(merged_set)
 
 
 def path_graph(n: int, weight: float = 1.0) -> WeightedGraph:

@@ -61,6 +61,7 @@ class WeightedGraph:
         self._n = int(n)
         self._weights: Dict[Tuple[int, int], float] = {}
         self._adj: Dict[int, Set[int]] = {v: set() for v in range(self._n)}
+        self._edge_arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         if edges is not None:
             for u, v, w in edges:
                 self.add_edge(u, v, w)
@@ -77,13 +78,21 @@ class WeightedGraph:
         self._weights[key] = float(weight)
         self._adj[u].add(v)
         self._adj[v].add(u)
+        self._edge_arrays = None
 
     def remove_edge(self, u: int, v: int) -> None:
-        """Remove the edge ``{u, v}``; raises ``KeyError`` if absent."""
+        """Remove the edge ``{u, v}``.
+
+        Raises ``ValueError`` for out-of-range vertices (like every other
+        mutator) and ``KeyError`` if the edge is absent.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
         key = canonical_edge(u, v)
         del self._weights[key]
         self._adj[u].discard(v)
         self._adj[v].discard(u)
+        self._edge_arrays = None
 
     def copy(self) -> "WeightedGraph":
         """Deep copy of this graph."""
@@ -140,6 +149,25 @@ class WeightedGraph:
     def edge_list(self) -> List[Tuple[int, int, float]]:
         """All edges as sorted ``(u, v, weight)`` triples with ``u < v``."""
         return [(u, v, self._weights[(u, v)]) for (u, v) in sorted(self._weights)]
+
+    def edge_array(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Edges as three aligned numpy columns ``(u, v, w)`` with ``u < v``.
+
+        Rows follow the canonical :meth:`edges` order.  The arrays are cached
+        until the next mutation and returned read-only, so repeated calls from
+        the vectorised Laplacian/backend kernels are O(1); callers that need to
+        modify them must copy.
+        """
+        if self._edge_arrays is None:
+            keys = sorted(self._weights)
+            m = len(keys)
+            u = np.fromiter((k[0] for k in keys), dtype=np.int64, count=m)
+            v = np.fromiter((k[1] for k in keys), dtype=np.int64, count=m)
+            w = np.fromiter((self._weights[k] for k in keys), dtype=np.float64, count=m)
+            for arr in (u, v, w):
+                arr.setflags(write=False)
+            self._edge_arrays = (u, v, w)
+        return self._edge_arrays
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the edge ``{u, v}`` exists."""

@@ -6,55 +6,65 @@ A reweighted subgraph ``H`` is a ``(1 +/- eps)``-spectral sparsifier of ``G``
 when ``(1-eps) x^T L_H x <= x^T L_G x <= (1+eps) x^T L_H x`` for all ``x``
 (Definition 2.1).  The helpers below verify that relation via generalised
 eigenvalues restricted to the space orthogonal to the all-ones kernel.
+
+Backend selection
+-----------------
+The hot kernels (``laplacian_matrix``, ``incidence_matrix``,
+``laplacian_quadratic_form``, ``effective_resistances``) are vectorised over
+the cached edge arrays of :meth:`WeightedGraph.edge_array` and accept a
+``backend`` keyword:
+
+* ``'dense'`` -- numpy arrays / the dense pseudoinverse reference.
+* ``'sparse'`` -- ``scipy.sparse`` CSR matrices and one-factorisation batched
+  solves from :mod:`repro.linalg.sparse_backend` (the path that scales to
+  ``n >= 10^4``).
+* ``'auto'`` -- sparse above ``sparse_backend.DENSE_BACKEND_LIMIT`` vertices,
+  dense below.
+
+Matrix-returning helpers default to ``'dense'`` so existing callers keep
+receiving ``np.ndarray``; pure-number helpers (quadratic form, effective
+resistances) default to ``'auto'``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.graphs.graph import WeightedGraph
+from repro.linalg import sparse_backend
+from repro.linalg.sparse_backend import resolve_backend
 
 
-def laplacian_matrix(graph: WeightedGraph) -> np.ndarray:
-    """Dense Laplacian matrix ``L`` of ``graph`` (Section 2.2)."""
-    n = graph.n
-    L = np.zeros((n, n))
-    for edge in graph.edges():
-        u, v, w = edge.u, edge.v, edge.weight
-        L[u, u] += w
-        L[v, v] += w
-        L[u, v] -= w
-        L[v, u] -= w
-    return L
+def laplacian_matrix(graph: WeightedGraph, backend: str = "dense"):
+    """Laplacian matrix ``L`` of ``graph`` (Section 2.2).
+
+    Returns a dense ``np.ndarray`` for ``backend='dense'`` (the default, and
+    what ``'auto'`` resolves to at small ``n``) and a ``scipy.sparse`` CSR
+    matrix for ``backend='sparse'``.
+    """
+    if resolve_backend(graph, backend) == "sparse":
+        return sparse_backend.laplacian_csr(graph)
+    return sparse_backend.laplacian_csr(graph).toarray()
 
 
-def incidence_matrix(graph: WeightedGraph) -> Tuple[np.ndarray, np.ndarray]:
+def incidence_matrix(graph: WeightedGraph, backend: str = "dense"):
     """Edge-vertex incidence matrix ``B`` (m x n) and weight vector ``w``.
 
     Edge orientation is from the smaller to the larger endpoint id (head = the
-    larger id), which is immaterial for ``L = B^T W B``.
+    larger id), which is immaterial for ``L = B^T W B``.  ``backend='sparse'``
+    returns ``B`` as a CSR matrix.
     """
-    n, m = graph.n, graph.m
-    B = np.zeros((m, n))
-    w = np.zeros(m)
-    for i, edge in enumerate(graph.edges()):
-        u, v = edge.key
-        B[i, v] = 1.0
-        B[i, u] = -1.0
-        w[i] = edge.weight
-    return B, w
+    B, w = sparse_backend.incidence_csr(graph)
+    if resolve_backend(graph, backend) == "sparse":
+        return B, w
+    return B.toarray(), w
 
 
 def laplacian_quadratic_form(graph: WeightedGraph, x: np.ndarray) -> float:
     """``x^T L_G x = sum_{(u,v) in E} w(u,v) (x_u - x_v)^2`` without forming L."""
-    x = np.asarray(x, dtype=float)
-    total = 0.0
-    for edge in graph.edges():
-        diff = x[edge.u] - x[edge.v]
-        total += edge.weight * diff * diff
-    return float(total)
+    return sparse_backend.laplacian_quadratic_form_vectorized(graph, x)
 
 
 def laplacian_pseudoinverse(graph: WeightedGraph) -> np.ndarray:
@@ -62,47 +72,73 @@ def laplacian_pseudoinverse(graph: WeightedGraph) -> np.ndarray:
     return np.linalg.pinv(laplacian_matrix(graph))
 
 
-def laplacian_norm(L: np.ndarray, x: np.ndarray) -> float:
-    """The ``||x||_L = sqrt(x^T L x)`` norm used in Theorems 1.3 and 2.3."""
+def laplacian_norm(L, x: np.ndarray) -> float:
+    """The ``||x||_L = sqrt(x^T L x)`` norm used in Theorems 1.3 and 2.3.
+
+    ``L`` may be a dense array or a scipy sparse matrix.
+    """
     x = np.asarray(x, dtype=float)
     value = float(x @ (L @ x))
     return float(np.sqrt(max(0.0, value)))
 
 
-def effective_resistances(graph: WeightedGraph) -> np.ndarray:
-    """Effective resistance of every edge (ordered as ``graph.edges()``)."""
+def effective_resistances(graph: WeightedGraph, backend: str = "auto") -> np.ndarray:
+    """Effective resistance of every edge (ordered as ``graph.edges()``).
+
+    The dense path computes the pseudoinverse once and reads all resistances
+    off it with fancy indexing; the sparse path factorises the grounded
+    Laplacian once and batch-solves ``L x_e = chi_e`` (no ``n x n`` dense
+    matrix is ever formed), which is the scalable route for ``n >= 10^3``.
+    """
+    if resolve_backend(graph, backend) == "sparse":
+        return sparse_backend.effective_resistances_sparse(graph)
+    if graph.m == 0:
+        return np.zeros(0)
+    u, v, _ = graph.edge_array()
     Lplus = laplacian_pseudoinverse(graph)
-    resistances = np.zeros(graph.m)
-    for i, edge in enumerate(graph.edges()):
-        chi = np.zeros(graph.n)
-        chi[edge.u] = 1.0
-        chi[edge.v] = -1.0
-        resistances[i] = float(chi @ Lplus @ chi)
-    return resistances
+    return Lplus[u, u] + Lplus[v, v] - 2.0 * Lplus[u, v]
 
 
 def _restricted_generalised_eigenvalues(
     L_G: np.ndarray, L_H: np.ndarray, tol: float = 1e-9
-) -> np.ndarray:
-    """Eigenvalues of ``pinv(L_H) L_G`` restricted to the joint image space.
+) -> Tuple[np.ndarray, float]:
+    """Eigenvalues of ``pinv(L_H) L_G`` restricted to the image of ``L_H``.
 
-    Both matrices are Laplacians of graphs on the same (connected) vertex set,
-    so their common kernel contains the all-ones vector; we project it out.
+    Both matrices are Laplacians of graphs on the same vertex set, so their
+    common kernel contains the all-ones vector; we project it out.  Also
+    returns the largest Rayleigh quotient of ``L_G`` over the *remaining*
+    kernel of ``L_H`` (beyond the all-ones direction): a strictly positive
+    value there means no finite ``hi`` satisfies ``L_G <= hi L_H`` -- e.g. a
+    disconnected sparsifier of a connected graph.
     """
     n = L_G.shape[0]
     ones = np.ones((n, 1)) / np.sqrt(n)
     projector = np.eye(n) - ones @ ones.T
     A = projector @ L_G @ projector
     B = projector @ L_H @ projector
-    # Work in the eigenbasis of B restricted to its image.
+    # Work in the eigenbasis of B restricted to its image.  Thresholds are
+    # relative to each matrix's own spectral scale so the certification stays
+    # scale-invariant (a uniformly tiny-weight graph is still a perfect
+    # sparsifier of itself).
     eigvals, eigvecs = np.linalg.eigh(B)
-    keep = eigvals > tol * max(1.0, float(np.max(np.abs(eigvals))))
+    scale_B = float(np.max(np.abs(eigvals)))
+    keep = eigvals > tol * scale_B if scale_B > 0 else np.zeros_like(eigvals, dtype=bool)
+    scale_A = float(np.max(np.abs(A))) if A.size else 0.0
+    # Energy of L_G on ker(L_H) beyond the all-ones direction.  The projector
+    # already removed the ones vector, on which A is zero as well, so any
+    # leaked energy here witnesses a direction where L_H vanishes but L_G
+    # does not.
+    V0 = eigvecs[:, ~keep]
+    kernel_leak = 0.0
+    if V0.shape[1]:
+        kernel_leak = float(np.max(np.linalg.eigvalsh(V0.T @ A @ V0)))
     if not np.any(keep):
-        return np.array([])
+        return np.array([]), kernel_leak
     V = eigvecs[:, keep]
     D_inv_sqrt = np.diag(1.0 / np.sqrt(eigvals[keep]))
     M = D_inv_sqrt @ V.T @ A @ V @ D_inv_sqrt
-    return np.linalg.eigvalsh(M)
+    leak_significant = kernel_leak > tol * scale_A
+    return np.linalg.eigvalsh(M), kernel_leak if leak_significant else 0.0
 
 
 def spectral_approximation_factor(
@@ -112,15 +148,34 @@ def spectral_approximation_factor(
 
     A ``(1 +/- eps)``-sparsifier in the sense of Definition 2.1 has
     ``lambda_min >= 1 - eps`` and ``lambda_max <= 1 + eps``.
+
+    Degenerate sparsifiers are reported honestly rather than certified: if
+    ``L_H`` restricted to the non-trivial space is zero (empty sparsifier, or
+    all sparsifier edges inside isolated cliques of a larger vertex set) the
+    result is ``(0.0, inf)``, and if ``L_H`` merely has extra kernel
+    directions on which ``L_G`` is positive (disconnected sparsifier of a
+    connected graph) ``lambda_max`` is ``inf``.
     """
     if graph.n != sparsifier.n:
         raise ValueError("graph and sparsifier must share the vertex set")
     L_G = laplacian_matrix(graph)
     L_H = laplacian_matrix(sparsifier)
-    eigs = _restricted_generalised_eigenvalues(L_G, L_H)
+    eigs, kernel_leak = _restricted_generalised_eigenvalues(L_G, L_H)
     if eigs.size == 0:
-        return (1.0, 1.0)
-    return float(np.min(eigs)), float(np.max(eigs))
+        if graph.m == 0 and sparsifier.m == 0:
+            # Both Laplacians are identically zero: every inequality of
+            # Definition 2.1 holds with equality, so the empty sparsifier of
+            # an empty graph is (trivially) perfect.
+            return (1.0, 1.0)
+        # L_H is (numerically) zero on the whole non-trivial space while L_G
+        # is not: nothing is certified.  Returning (1.0, 1.0) here -- as the
+        # seed implementation did -- would vacuously accept a degenerate
+        # sparsifier.
+        return (0.0, float("inf"))
+    lo, hi = float(np.min(eigs)), float(np.max(eigs))
+    if kernel_leak > 0.0:
+        hi = float("inf")
+    return lo, hi
 
 
 def is_spectral_sparsifier(
@@ -137,7 +192,7 @@ def is_spectral_sparsifier(
 def relative_condition_number(graph: WeightedGraph, preconditioner: WeightedGraph) -> float:
     """``kappa`` with ``A <= B <= kappa A`` as used in Theorem 2.3 (A = L_G, B ~ L_H)."""
     lo, hi = spectral_approximation_factor(graph, preconditioner)
-    if lo <= 0:
+    if lo <= 0 or not np.isfinite(hi):
         return float("inf")
     return float(hi / lo)
 
@@ -158,9 +213,8 @@ def graph_from_laplacian(L: np.ndarray, tol: float = 1e-12) -> WeightedGraph:
     L = np.asarray(L, dtype=float)
     n = L.shape[0]
     graph = WeightedGraph(n)
-    for u in range(n):
-        for v in range(u + 1, n):
-            w = -L[u, v]
-            if w > tol:
-                graph.add_edge(u, v, float(w))
+    weights = -np.triu(L, k=1)
+    rows, cols = np.nonzero(weights > tol)
+    for u, v, w in zip(rows, cols, weights[rows, cols]):
+        graph.add_edge(int(u), int(v), float(w))
     return graph

@@ -12,6 +12,11 @@
 * :mod:`repro.linalg.mixed_ball` -- projection onto the mixed norm ball
   ``||x||_2 + ||l^{-1} x||_inf <= 1`` (Section 4.3, Lemma 4.10): the BCC
   binary-search algorithm and a dense reference maximiser.
+* :mod:`repro.linalg.sparse_backend` -- the scipy.sparse CSR Laplacian
+  backend: vectorised matrix construction from cached edge arrays, grounded
+  ``splu`` factorisations, batched effective-resistance solves and the
+  ``backend={'auto','dense','sparse'}`` selection used across the graphs,
+  solvers and sparsify layers.
 """
 
 from repro.linalg.jl import (
@@ -36,6 +41,14 @@ from repro.linalg.mixed_ball import (
     project_mixed_ball,
     project_mixed_ball_reference,
 )
+from repro.linalg.sparse_backend import (
+    GroundedLaplacianSolver,
+    effective_resistances_sparse,
+    incidence_csr,
+    laplacian_csr,
+    laplacian_solver,
+    resolve_backend,
+)
 
 __all__ = [
     "achlioptas_matrix",
@@ -52,4 +65,10 @@ __all__ = [
     "MixedBallResult",
     "project_mixed_ball",
     "project_mixed_ball_reference",
+    "GroundedLaplacianSolver",
+    "effective_resistances_sparse",
+    "incidence_csr",
+    "laplacian_csr",
+    "laplacian_solver",
+    "resolve_backend",
 ]

@@ -16,11 +16,22 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.congest.ledger import CommunicationPrimitives
 from repro.linalg.jl import jl_sketch_dimension, kane_nelson_matrix, kane_nelson_random_bits
 
 SolveFn = Callable[[np.ndarray], np.ndarray]
+
+
+def _as_matrix(M):
+    """Pass scipy sparse matrices through untouched, densify everything else."""
+    if sp.issparse(M):
+        return M.tocsr()
+    M = np.asarray(M, dtype=float)
+    if M.ndim != 2:
+        raise ValueError(f"M must be a matrix, got array of ndim {M.ndim}")
+    return M
 
 
 @dataclass
@@ -34,18 +45,25 @@ class LeverageScoreReport:
     solves: int = 0
 
 
-def exact_leverage_scores(M: np.ndarray, ridge: float = 0.0) -> np.ndarray:
-    """Exact leverage scores ``diag(M (M^T M)^{-1} M^T)`` (dense reference).
+def exact_leverage_scores(M, ridge: float = 0.0) -> np.ndarray:
+    """Exact leverage scores ``diag(M (M^T M)^{-1} M^T)``.
 
-    ``ridge`` optionally regularises nearly rank-deficient Gram matrices.
+    ``M`` may be dense or scipy sparse (e.g. a CSR incidence matrix); the Gram
+    matrix is always small (``n x n``) and inverted densely, while the row
+    products stay in the input's format.  ``ridge`` optionally regularises
+    nearly rank-deficient Gram matrices.
     """
-    M = np.asarray(M, dtype=float)
-    gram = M.T @ M
+    M = _as_matrix(M)
+    gram = (M.T @ M)
+    if sp.issparse(gram):
+        gram = gram.toarray()
     if ridge > 0:
         gram = gram + ridge * np.eye(gram.shape[0])
     gram_inv = np.linalg.pinv(gram)
-    # sigma_i = row_i(M) gram_inv row_i(M)^T, computed row-wise without forming
-    # the m x m projection matrix.
+    if sp.issparse(M):
+        # sigma_i = row_i(M) gram_inv row_i(M)^T without any m x m matrix;
+        # M.multiply keeps the product restricted to M's sparsity pattern.
+        return np.asarray(M.multiply(M @ gram_inv).sum(axis=1)).ravel()
     return np.einsum("ij,jk,ik->i", M, gram_inv, M)
 
 
@@ -65,7 +83,8 @@ def approximate_leverage_scores(
     Parameters
     ----------
     M:
-        The ``m x n`` matrix (``m >= n``, full column rank).
+        The ``m x n`` matrix (``m >= n``, full column rank), dense or scipy
+        sparse; sparse inputs keep every product a sparse matvec.
     eta:
         Target multiplicative accuracy.
     gram_solver:
@@ -76,9 +95,7 @@ def approximate_leverage_scores(
         election, seed broadcast, matrix-vector products and Gram solves are
         charged to its ledger as in Lemma 4.5.
     """
-    M = np.asarray(M, dtype=float)
-    if M.ndim != 2:
-        raise ValueError(f"M must be a matrix, got array of ndim {M.ndim}")
+    M = _as_matrix(M)
     m, n = M.shape
     if not (0 < eta):
         raise ValueError(f"eta must be positive, got {eta}")
@@ -103,7 +120,10 @@ def approximate_leverage_scores(
         Q = kane_nelson_matrix(k, m, seed_value)
 
     if gram_solver is None:
-        gram_pinv = np.linalg.pinv(M.T @ M)
+        gram = M.T @ M
+        if sp.issparse(gram):
+            gram = gram.toarray()
+        gram_pinv = np.linalg.pinv(gram)
         gram_solver = lambda y: gram_pinv @ y  # noqa: E731 - local closure
 
     scores = np.zeros(m)

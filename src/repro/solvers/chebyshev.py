@@ -20,6 +20,8 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.linalg.sparse_backend import as_apply_fn
+
 ApplyFn = Callable[[np.ndarray], np.ndarray]
 
 
@@ -63,9 +65,11 @@ def preconditioned_chebyshev(
     Parameters
     ----------
     apply_A:
-        Function computing ``A @ v``.
+        Function computing ``A @ v``; a dense or scipy sparse matrix is also
+        accepted and wrapped into a matvec.
     solve_B:
-        Function computing ``B^+ @ v`` (an exact or high-precision solve in B).
+        Function computing ``B^+ @ v`` (an exact or high-precision solve in B);
+        a dense or sparse matrix is likewise accepted.
     b:
         Right-hand side (must lie in the range of ``A`` for singular systems).
     kappa:
@@ -84,6 +88,8 @@ def preconditioned_chebyshev(
     (x, report):
         The approximate solution and the convergence report.
     """
+    apply_A = as_apply_fn(apply_A)
+    solve_B = as_apply_fn(solve_B)
     b = np.asarray(b, dtype=float)
     iterations = max_iterations if max_iterations is not None else chebyshev_iteration_count(kappa, eps)
 

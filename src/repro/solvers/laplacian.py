@@ -21,6 +21,7 @@ import numpy as np
 from repro.congest.ledger import CommunicationPrimitives, RoundLedger
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.laplacian import laplacian_matrix, laplacian_norm
+from repro.linalg.sparse_backend import GroundedLaplacianSolver, resolve_backend
 from repro.sparsify.spectral import SparsifierResult, spectral_sparsify
 from repro.solvers.chebyshev import ChebyshevReport, preconditioned_chebyshev
 
@@ -61,6 +62,20 @@ class BCCLaplacianSolver:
     exact_preconditioner:
         If True, skip the sparsifier and precondition with ``L_G`` itself
         (kappa = 1).  Useful to isolate Chebyshev behaviour in tests/ablations.
+    backend:
+        ``'auto'``, ``'dense'`` or ``'sparse'``.  The dense path stores
+        ``L_G`` as an ndarray and preconditions through a dense pseudoinverse;
+        the sparse path stores ``L_G`` as a CSR matrix and solves in the
+        preconditioner through one cached ``splu`` factorisation of the
+        sparsifier's grounded Laplacian, which is what makes ``n >= 10^3``
+        instances run in seconds.  ``'auto'`` switches on graph size.
+
+        Caveat: when ``t_override``/``bundle_scale`` deviate from the paper's
+        parameters the constructor must *measure* kappa, and that measurement
+        (``spectral_approximation_factor``) is still a dense ``eigh`` --
+        ``O(n^2)`` memory regardless of backend.  At large ``n`` use the
+        paper parameters or ``exact_preconditioner=True`` until the
+        sparse-certification ROADMAP item lands.
     """
 
     #: quality of the preprocessing sparsifier, fixed to 1/2 as in Theorem 1.3
@@ -74,13 +89,16 @@ class BCCLaplacianSolver:
         bundle_scale: float = 1.0,
         exact_preconditioner: bool = False,
         ledger: Optional[RoundLedger] = None,
+        backend: str = "auto",
     ):
         if not graph.is_connected():
             raise ValueError("the Laplacian solver requires a connected graph")
         self.graph = graph
+        self.backend = resolve_backend(graph, backend)
         self.ledger = ledger if ledger is not None else RoundLedger()
-        self._L = laplacian_matrix(graph)
+        self._L = laplacian_matrix(graph, backend=self.backend)
         self._U = max(1.0, graph.max_weight())
+        self._exact_solver: Optional[GroundedLaplacianSolver] = None
         self._comm = CommunicationPrimitives(
             graph.n, self.ledger, value_magnitude=self._U, precision=1e-12
         )
@@ -121,9 +139,27 @@ class BCCLaplacianSolver:
                 kappa = max(1.0, hi / lo) * (1.0 + 1e-9)
         self.ledger.charge("sparsifier_preprocessing", preprocessing_rounds, "Theorem 1.2")
 
-        # B = scale * L_H; every vertex knows H, so B^+ is computed locally.
-        self._B = scale * laplacian_matrix(sparsifier) if not exact_preconditioner else self._L.copy()
-        self._B_pinv = np.linalg.pinv(self._B)
+        # B = scale * L_H; every vertex knows H, so solves in B are local.
+        if self.backend == "sparse":
+            # One grounded splu factorisation of L_H, reused by every solve:
+            # B^+ r = (1/scale) L_H^+ r.  The Chebyshev residuals are
+            # consistent because the sparsifier of a connected graph must be
+            # connected for the kappa guarantee to hold at all.
+            if not sparsifier.is_connected():
+                raise ValueError(
+                    "sparse backend requires a connected sparsifier "
+                    "(a disconnected one cannot precondition a connected graph)"
+                )
+            grounded = GroundedLaplacianSolver(sparsifier)
+            self._solve_B = lambda r: grounded.solve(r) / scale
+            if exact_preconditioner:
+                # the sparsifier IS the graph here: reuse the factorisation
+                # instead of running a second identical splu in exact_solution
+                self._exact_solver = grounded
+        else:
+            self._B = scale * laplacian_matrix(sparsifier, backend="dense")
+            B_pinv = np.linalg.pinv(self._B)
+            self._solve_B = lambda r: B_pinv @ r
         self.preprocessing = PreprocessingReport(
             sparsifier=sparsifier,
             rounds=preprocessing_rounds,
@@ -171,7 +207,7 @@ class BCCLaplacianSolver:
 
         def solve_B(r: np.ndarray) -> np.ndarray:
             comm.local_computation("solve in L_H (sparsifier known to every vertex)")
-            return self._B_pinv @ r
+            return self._solve_B(r)
 
         x, cheb_report = preconditioned_chebyshev(
             apply_A,
@@ -192,7 +228,7 @@ class BCCLaplacianSolver:
             chebyshev=cheb_report,
         )
         if check:
-            exact = np.linalg.pinv(self._L) @ b
+            exact = self.exact_solution(b)
             denom = laplacian_norm(self._L, exact)
             error = laplacian_norm(self._L, exact - x)
             report.measured_relative_error = error / max(denom, 1e-300)
@@ -206,6 +242,16 @@ class BCCLaplacianSolver:
     # -- exact reference -------------------------------------------------------------
 
     def exact_solution(self, b: np.ndarray) -> np.ndarray:
-        """Minimum-norm exact solution of ``L_G x = b`` (dense pseudoinverse)."""
+        """Minimum-norm exact solution of ``L_G x = b``.
+
+        Dense backend: pseudoinverse reference.  Sparse backend: one cached
+        grounded ``splu`` factorisation of ``L_G`` (the graph is connected, so
+        the re-centred grounded solution *is* the minimum-norm solution).
+        """
         b = np.asarray(b, dtype=float)
-        return np.linalg.pinv(self._L) @ (b - np.mean(b))
+        b = b - np.mean(b)
+        if self.backend == "sparse":
+            if self._exact_solver is None:
+                self._exact_solver = GroundedLaplacianSolver(self.graph)
+            return self._exact_solver.solve(b)
+        return np.linalg.pinv(self._L) @ b

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.laplacian import graph_from_laplacian, is_symmetric_diagonally_dominant
+from repro.linalg.sparse_backend import GroundedLaplacianSolver, resolve_backend_for_size
 from repro.solvers.laplacian import BCCLaplacianSolver
 
 
@@ -85,10 +86,15 @@ class SDDSolver:
     """Solve SDD systems by reducing to a Laplacian system (Lemma 5.1).
 
     The Laplacian system is solved either with the BCC Laplacian solver of
-    Theorem 1.3 (``method='bcc'``) or with a dense pseudoinverse
+    Theorem 1.3 (``method='bcc'``) or with the expansion Laplacian directly
     (``method='direct'``, the numerical reference).  Rounds reported for the
     BCC method are doubled because each virtual vertex pair is simulated by one
     real vertex (Lemma 5.1).
+
+    The direct path accepts ``backend={'auto', 'dense', 'sparse'}``: dense is
+    a cached pseudoinverse; sparse grounds the expansion Laplacian per
+    component and factorises it once with ``splu`` (right-hand sides must be
+    consistent for singular ``M``, which the theorems promise anyway).
     """
 
     def __init__(
@@ -97,6 +103,7 @@ class SDDSolver:
         method: str = "direct",
         seed: Optional[int] = None,
         t_override: Optional[int] = None,
+        backend: str = "auto",
     ):
         if method not in ("direct", "bcc"):
             raise ValueError(f"unknown method {method!r}; use 'direct' or 'bcc'")
@@ -105,8 +112,11 @@ class SDDSolver:
             raise ValueError("SDDSolver requires a symmetric diagonally dominant matrix")
         self.method = method
         self.reduction = GrembanReduction.from_sdd(self.M)
+        # the solved system is the 2n x 2n expansion, so resolve on that size
+        self.backend = resolve_backend_for_size(2 * self.reduction.n, backend)
         self.rounds = 0.0
         self._bcc_solver: Optional[BCCLaplacianSolver] = None
+        self._direct_solver = None
         if method == "bcc":
             graph = self.reduction.expansion_graph()
             if graph.is_connected():
@@ -129,7 +139,14 @@ class SDDSolver:
             report = self._bcc_solver.solve(lifted, eps=eps)
             self.rounds += 2.0 * report.rounds
             return self.reduction.restrict_solution(report.solution)
-        # dense reference path
+        # direct reference path (factorisation / pseudoinverse cached across solves)
         lifted = self.reduction.lift_rhs(b)
-        xy = np.linalg.pinv(self.reduction.laplacian) @ lifted
+        if self.backend == "sparse":
+            if self._direct_solver is None:
+                self._direct_solver = GroundedLaplacianSolver(self.reduction.expansion_graph())
+            xy = self._direct_solver.solve(lifted)
+        else:
+            if self._direct_solver is None:
+                self._direct_solver = np.linalg.pinv(self.reduction.laplacian)
+            xy = self._direct_solver @ lifted
         return self.reduction.restrict_solution(xy)

@@ -82,6 +82,16 @@ class SparsifierResult:
         """Number of edges of the sparsifier."""
         return self.sparsifier.m
 
+    def certify(self, graph: WeightedGraph, eps: float, slack: float = 1e-7) -> bool:
+        """Empirically verify Definition 2.1 against ``graph``.
+
+        Degenerate sparsifiers (empty or disconnected relative to a connected
+        input) are reported as failures, never certified vacuously.
+        """
+        from repro.graphs.laplacian import is_spectral_sparsifier
+
+        return is_spectral_sparsifier(graph, self.sparsifier, eps, slack=slack)
+
     def max_out_degree(self) -> int:
         degrees: Dict[int, int] = {v: 0 for v in range(self.sparsifier.n)}
         for tail, _head in self.orientation.values():
@@ -131,7 +141,7 @@ def spectral_sparsify(
     last_orientation: Dict[EdgeKey, Tuple[int, int]] = {}
 
     for iteration in range(1, _iteration_count(graph.m) + 1):
-        restricted_p = {edge.key: probability[edge.key] for edge in current.edges()}
+        restricted_p = {(u, v): probability[(u, v)] for (u, v, _) in current.edge_list()}
         bundle = bundle_spanner(current, probabilities=restricted_p, k=k, t=t, rng=rng)
         last_bundle = set(bundle.bundle)
         last_orientation = bundle.orientation()
@@ -139,17 +149,17 @@ def spectral_sparsify(
 
         # E_i <- E_{i-1} \ C_i ; p <- 1 on the bundle, p/4 and w*4 elsewhere.
         next_graph = WeightedGraph(n)
-        for edge in current.edges():
-            key = edge.key
+        for u, v, weight in current.edge_list():
+            key = (u, v)
             if key in bundle.rejected:
                 probability.pop(key, None)
                 continue
             if key in bundle.bundle:
                 probability[key] = 1.0
-                next_graph.add_edge(edge.u, edge.v, edge.weight)
+                next_graph.add_edge(u, v, weight)
             else:
                 probability[key] = probability[key] / 4.0
-                next_graph.add_edge(edge.u, edge.v, 4.0 * edge.weight)
+                next_graph.add_edge(u, v, 4.0 * weight)
         result.iterations.append(
             IterationRecord(
                 iteration=iteration,
@@ -166,20 +176,20 @@ def spectral_sparsify(
     sparsifier = WeightedGraph(n)
     orientation: Dict[EdgeKey, Tuple[int, int]] = {}
     broadcasts_per_vertex: Dict[int, int] = {}
-    for edge in current.edges():
-        key = edge.key
+    for u, v, weight in current.edge_list():
+        key = (u, v)
         if key in last_bundle:
-            sparsifier.add_edge(edge.u, edge.v, edge.weight)
+            sparsifier.add_edge(u, v, weight)
             if key in last_orientation:
                 orientation[key] = last_orientation[key]
             else:
-                orientation[key] = (min(key), max(key))
+                orientation[key] = (u, v)
             continue
         # the endpoint with the smaller identifier performs the sampling
-        sampler = min(key)
+        sampler = u
         if rng.random() < probability[key]:
-            sparsifier.add_edge(edge.u, edge.v, edge.weight)
-            orientation[key] = (sampler, max(key))
+            sparsifier.add_edge(u, v, weight)
+            orientation[key] = (sampler, v)
             broadcasts_per_vertex[sampler] = broadcasts_per_vertex.get(sampler, 0) + 1
     if broadcasts_per_vertex:
         result.rounds += max(broadcasts_per_vertex.values())
@@ -229,12 +239,12 @@ def spectral_sparsify_apriori(
             next_graph.add_edge(u, v, current.weight(u, v))
             orientation[key] = bundle_orientation.get(key, (u, v))
         sampled = 0
-        for edge in current.edges():
-            if edge.key in bundle.bundle:
+        for u, v, weight in current.edge_list():
+            if (u, v) in bundle.bundle:
                 continue
             if rng.random() < 0.25:
-                next_graph.add_edge(edge.u, edge.v, 4.0 * edge.weight)
-                orientation[edge.key] = (min(edge.key), max(edge.key))
+                next_graph.add_edge(u, v, 4.0 * weight)
+                orientation[(u, v)] = (u, v)
                 sampled += 1
         result.iterations.append(
             IterationRecord(

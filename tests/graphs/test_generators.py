@@ -40,6 +40,47 @@ class TestRandomGenerators:
         with pytest.raises(ValueError):
             generators.erdos_renyi(10, 1.5)
 
+    def test_connect_components_single_sweep_matches_quadratic_reference(self):
+        """The one-pass ``_connect_components`` must replay the exact rng call
+        sequence of the original recompute-per-edge implementation."""
+        from repro.graphs.graph import WeightedGraph
+
+        def connect_reference(graph, rng, max_weight):
+            components = graph.connected_components()
+            while len(components) > 1:
+                first = sorted(components[0])
+                second = sorted(components[1])
+                u = int(rng.choice(first))
+                v = int(rng.choice(second))
+                weight = float(rng.integers(1, max(2, int(max_weight)) + 1))
+                graph.add_edge(u, v, weight)
+                components = graph.connected_components()
+
+        for seed in range(10):
+            def build(rng):
+                g = WeightedGraph(25)
+                for u in range(25):
+                    for v in range(u + 1, 25):
+                        if rng.random() < 0.04:
+                            g.add_edge(u, v, float(rng.integers(1, 9)))
+                return g
+
+            rng_a, rng_b = np.random.default_rng(seed), np.random.default_rng(seed)
+            expected, actual = build(rng_a), build(rng_b)
+            connect_reference(expected, rng_a, 8.0)
+            generators._connect_components(actual, rng_b, 8.0)
+            assert actual == expected
+            assert actual.is_connected()
+            # rng state must also agree so downstream draws stay seed-stable
+            assert rng_a.integers(0, 2**31) == rng_b.integers(0, 2**31)
+
+    def test_connect_components_already_connected_consumes_no_randomness(self):
+        rng = np.random.default_rng(0)
+        g = generators.path_graph(6)
+        before = rng.bit_generator.state
+        generators._connect_components(g, rng, 4.0)
+        assert rng.bit_generator.state == before
+
     def test_erdos_renyi_reproducible(self):
         a = generators.erdos_renyi(15, 0.3, seed=42)
         b = generators.erdos_renyi(15, 0.3, seed=42)

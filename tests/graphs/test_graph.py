@@ -61,6 +61,42 @@ class TestWeightedGraphBasics:
         with pytest.raises(KeyError):
             g.remove_edge(0, 1)
 
+    def test_remove_edge_validates_vertices(self):
+        g = WeightedGraph(3)
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            g.remove_edge(0, 5)
+        with pytest.raises(ValueError):
+            g.remove_edge(-1, 0)
+        with pytest.raises(ValueError):
+            g.remove_edge(0, 0)
+        assert g.has_edge(0, 1)  # failed removals must not mutate the graph
+
+    def test_edge_array_matches_edge_list(self):
+        g = WeightedGraph(4)
+        g.add_edge(2, 3, 5.0)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(1, 3, 7.0)
+        u, v, w = g.edge_array()
+        assert list(zip(u.tolist(), v.tolist(), w.tolist())) == g.edge_list()
+
+    def test_edge_array_cache_invalidated_on_mutation(self):
+        g = WeightedGraph(3)
+        g.add_edge(0, 1, 1.0)
+        u, v, w = g.edge_array()
+        assert g.edge_array() is not None and g.edge_array()[0] is u  # cached
+        g.add_edge(1, 2, 2.0)
+        assert g.edge_array()[0].size == 2
+        g.remove_edge(0, 1)
+        assert g.edge_array()[0].size == 1
+        with pytest.raises(ValueError):
+            g.edge_array()[2][0] = 9.0  # cached views are read-only
+
+    def test_edge_array_empty_graph(self):
+        g = WeightedGraph(2)
+        u, v, w = g.edge_array()
+        assert u.size == v.size == w.size == 0
+
     def test_rejects_invalid_vertices_and_weights(self):
         g = WeightedGraph(3)
         with pytest.raises(ValueError):

@@ -120,6 +120,73 @@ class TestSpectralComparison:
         assert lo < 1.0
 
 
+class TestDegenerateSparsifiers:
+    """Degenerate sparsifiers must never be certified vacuously.
+
+    The seed implementation returned (1.0, 1.0) -- a *perfect* sparsifier --
+    whenever the restricted eigenvalue set came back empty, so an empty-edge
+    subgraph of any connected graph passed Definition 2.1.
+    """
+
+    def test_empty_sparsifier_of_connected_graph(self):
+        g = generators.random_weighted_graph(10, seed=21)
+        empty = WeightedGraph(g.n)
+        lo, hi = spectral_approximation_factor(g, empty)
+        assert lo == 0.0
+        assert hi == float("inf")
+        assert not is_spectral_sparsifier(g, empty, eps=0.99)
+
+    def test_disconnected_sparsifier_of_connected_graph(self):
+        g = generators.complete_graph(8)
+        # keep only edges inside {4..7}: vertices 0-3 become isolated
+        h = WeightedGraph(g.n)
+        for u, v, w in g.edge_list():
+            if u >= 4 and v >= 4:
+                h.add_edge(u, v, w)
+        lo, hi = spectral_approximation_factor(g, h)
+        assert hi == float("inf")
+        assert not is_spectral_sparsifier(g, h, eps=0.99)
+
+    def test_sparsifier_with_isolated_vertices(self):
+        g = generators.path_graph(6)
+        h = WeightedGraph(g.n)
+        h.add_edge(0, 1, 1.0)  # vertices 2..5 isolated in H
+        lo, hi = spectral_approximation_factor(g, h)
+        assert hi == float("inf")
+        assert not is_spectral_sparsifier(g, h, eps=0.99)
+
+    def test_condition_number_is_infinite_for_degenerate_preconditioner(self):
+        g = generators.random_weighted_graph(10, seed=22)
+        empty = WeightedGraph(g.n)
+        assert relative_condition_number(g, empty) == float("inf")
+        disconnected = WeightedGraph(g.n)
+        edges = g.edge_list()
+        u, v, w = edges[0]
+        disconnected.add_edge(u, v, w)
+        assert relative_condition_number(g, disconnected) == float("inf")
+
+    def test_connected_sparsifier_still_certified(self):
+        g = generators.random_weighted_graph(12, seed=23)
+        assert is_spectral_sparsifier(g, g, eps=0.01)
+
+    def test_empty_sparsifier_of_empty_graph_is_perfect(self):
+        g = WeightedGraph(5)
+        assert spectral_approximation_factor(g, g) == (1.0, 1.0)
+        assert is_spectral_sparsifier(g, g, eps=0.01)
+
+    @pytest.mark.parametrize("weight", [1e-10, 1e8])
+    def test_certification_is_scale_invariant(self, weight):
+        """Degenerate detection must be relative to the spectra's own scale: a
+        uniformly tiny- (or huge-) weight graph is a perfect sparsifier of
+        itself, not a degenerate one."""
+        g = generators.path_graph(6, weight=weight)
+        lo, hi = spectral_approximation_factor(g, g)
+        assert lo == pytest.approx(1.0, abs=1e-6)
+        assert hi == pytest.approx(1.0, abs=1e-6)
+        assert is_spectral_sparsifier(g, g, eps=0.01)
+        assert relative_condition_number(g, g) == pytest.approx(1.0, abs=1e-6)
+
+
 class TestSDDCheck:
     def test_laplacian_is_sdd(self):
         g = generators.random_weighted_graph(8, seed=12)

@@ -1,0 +1,174 @@
+"""Dense-vs-sparse backend agreement and grounded-solver correctness."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import (
+    effective_resistances,
+    generators,
+    incidence_matrix,
+    laplacian_matrix,
+    laplacian_quadratic_form,
+)
+from repro.graphs.graph import WeightedGraph
+from repro.linalg.sparse_backend import (
+    DENSE_BACKEND_LIMIT,
+    GroundedLaplacianSolver,
+    as_apply_fn,
+    effective_resistances_sparse,
+    incidence_csr,
+    laplacian_csr,
+    laplacian_quadratic_form_vectorized,
+    resolve_backend,
+)
+
+
+def reference_graphs():
+    """The agreement workloads named by the backend acceptance criteria."""
+    barbell = generators.barbell_graph(6, path_length=3)
+    weighted = generators.random_weighted_graph(24, average_degree=6, max_weight=16, seed=3)
+    return {
+        "path": generators.path_graph(12),
+        "cycle": generators.cycle_graph(15),
+        "grid": generators.grid_graph(5, 6),
+        "barbell": barbell,
+        "weighted": weighted,
+    }
+
+
+@pytest.fixture(params=sorted(reference_graphs()))
+def reference_graph(request):
+    return reference_graphs()[request.param]
+
+
+class TestMatrixAgreement:
+    def test_laplacian_csr_matches_dense(self, reference_graph):
+        dense = laplacian_matrix(reference_graph, backend="dense")
+        sparse = laplacian_matrix(reference_graph, backend="sparse")
+        assert sp.issparse(sparse)
+        np.testing.assert_allclose(sparse.toarray(), dense, atol=1e-12)
+
+    def test_incidence_csr_matches_dense(self, reference_graph):
+        B_dense, w_dense = incidence_matrix(reference_graph, backend="dense")
+        B_sparse, w_sparse = incidence_matrix(reference_graph, backend="sparse")
+        assert sp.issparse(B_sparse)
+        np.testing.assert_allclose(B_sparse.toarray(), B_dense, atol=1e-12)
+        np.testing.assert_allclose(w_sparse, w_dense, atol=1e-12)
+
+    def test_incidence_factorisation(self, reference_graph):
+        B, w = incidence_csr(reference_graph)
+        L = (B.T @ sp.diags(w) @ B).toarray()
+        np.testing.assert_allclose(L, laplacian_matrix(reference_graph), atol=1e-12)
+
+    def test_quadratic_form_agrees(self, reference_graph, rng):
+        L = laplacian_matrix(reference_graph)
+        for _ in range(5):
+            x = rng.normal(size=reference_graph.n)
+            expected = float(x @ L @ x)
+            assert laplacian_quadratic_form(reference_graph, x) == pytest.approx(expected, abs=1e-8)
+            assert laplacian_quadratic_form_vectorized(reference_graph, x) == pytest.approx(
+                expected, abs=1e-8
+            )
+
+
+class TestEffectiveResistanceAgreement:
+    def test_dense_and_sparse_paths_agree(self, reference_graph):
+        dense = effective_resistances(reference_graph, backend="dense")
+        sparse = effective_resistances(reference_graph, backend="sparse")
+        np.testing.assert_allclose(sparse, dense, atol=1e-8)
+
+    def test_small_batches_cover_all_edges(self, reference_graph):
+        full = effective_resistances_sparse(reference_graph)
+        batched = effective_resistances_sparse(reference_graph, batch_size=3)
+        np.testing.assert_allclose(batched, full, atol=1e-12)
+
+    def test_fosters_theorem_on_sparse_path(self):
+        g = generators.random_weighted_graph(30, average_degree=6, seed=9)
+        resistances = effective_resistances_sparse(g)
+        _, _, w = g.edge_array()
+        assert float(np.dot(resistances, w)) == pytest.approx(g.n - 1, rel=1e-6)
+
+    def test_disconnected_graph(self):
+        g = WeightedGraph(6)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(3, 4, 4.0)  # vertex 5 isolated
+        dense = effective_resistances(g, backend="dense")
+        sparse = effective_resistances(g, backend="sparse")
+        np.testing.assert_allclose(sparse, dense, atol=1e-10)
+
+    def test_empty_graph(self):
+        g = WeightedGraph(4)
+        assert effective_resistances(g, backend="sparse").size == 0
+        assert effective_resistances(g, backend="dense").size == 0
+
+
+class TestGroundedSolver:
+    def test_matches_pseudoinverse(self, reference_graph, rng):
+        L = laplacian_matrix(reference_graph)
+        solver = GroundedLaplacianSolver(reference_graph)
+        b = rng.normal(size=reference_graph.n)
+        b -= b.mean()
+        np.testing.assert_allclose(solver.solve(b), np.linalg.pinv(L) @ b, atol=1e-8)
+
+    def test_solve_many_matches_columnwise(self, rng):
+        g = generators.grid_graph(4, 5)
+        solver = GroundedLaplacianSolver(g)
+        B = rng.normal(size=(g.n, 4))
+        B -= B.mean(axis=0)
+        X = solver.solve_many(B)
+        for j in range(B.shape[1]):
+            np.testing.assert_allclose(X[:, j], solver.solve(B[:, j]), atol=1e-12)
+
+    def test_disconnected_min_norm(self, rng):
+        g = WeightedGraph(7)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 3.0)
+        g.add_edge(3, 4, 2.0)
+        g.add_edge(4, 5, 1.0)  # vertex 6 isolated
+        L = laplacian_matrix(g)
+        b = rng.normal(size=7)
+        # make b consistent per component
+        for component in g.connected_components():
+            idx = sorted(component)
+            b[idx] -= b[idx].mean()
+        solver = GroundedLaplacianSolver(g)
+        np.testing.assert_allclose(solver.solve(b), np.linalg.pinv(L) @ b, atol=1e-10)
+
+    def test_rejects_bad_shape(self):
+        solver = GroundedLaplacianSolver(generators.path_graph(4))
+        with pytest.raises(ValueError):
+            solver.solve(np.zeros(5))
+
+
+class TestBackendSelection:
+    def test_explicit_backends(self):
+        g = generators.path_graph(4)
+        assert resolve_backend(g, "dense") == "dense"
+        assert resolve_backend(g, "sparse") == "sparse"
+
+    def test_auto_switches_on_size(self):
+        small = generators.path_graph(4)
+        large = generators.path_graph(DENSE_BACKEND_LIMIT + 1)
+        assert resolve_backend(small, "auto") == "dense"
+        assert resolve_backend(large, "auto") == "sparse"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend(generators.path_graph(3), "gpu")
+
+    def test_auto_matrix_type_follows_size(self):
+        large = generators.path_graph(DENSE_BACKEND_LIMIT + 1)
+        assert sp.issparse(laplacian_matrix(large, backend="auto"))
+        assert isinstance(laplacian_matrix(large, backend="dense"), np.ndarray)
+
+
+class TestApplyFnAdapter:
+    def test_wraps_matrices_and_passes_callables(self, rng):
+        A = rng.normal(size=(5, 5))
+        v = rng.normal(size=5)
+        np.testing.assert_allclose(as_apply_fn(A)(v), A @ v)
+        np.testing.assert_allclose(as_apply_fn(sp.csr_matrix(A))(v), A @ v)
+        fn = lambda x: 2 * x  # noqa: E731
+        assert as_apply_fn(fn) is fn

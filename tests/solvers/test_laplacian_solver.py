@@ -108,3 +108,35 @@ class TestValidation:
         rhs = [rng.normal(size=solver_graph.n) for _ in range(3)]
         reports = solver.solve_many(rhs, eps=1e-4)
         assert len(reports) == 3
+
+
+class TestSparseBackend:
+    def test_backend_attribute_resolution(self, solver_graph):
+        dense = BCCLaplacianSolver(solver_graph, seed=1, t_override=2, backend="dense")
+        sparse = BCCLaplacianSolver(solver_graph, seed=1, t_override=2, backend="sparse")
+        assert dense.backend == "dense" and sparse.backend == "sparse"
+        # small graph: auto resolves to dense
+        assert BCCLaplacianSolver(solver_graph, seed=1, t_override=2).backend == "dense"
+
+    def test_sparse_backend_matches_dense(self, solver_graph):
+        rng = np.random.default_rng(17)
+        b = rng.normal(size=solver_graph.n)
+        dense = BCCLaplacianSolver(solver_graph, seed=1, t_override=2, backend="dense")
+        sparse = BCCLaplacianSolver(solver_graph, seed=1, t_override=2, backend="sparse")
+        rd = dense.solve(b, eps=1e-8, check=True)
+        rs = sparse.solve(b, eps=1e-8, check=True)
+        assert rd.error_bound_holds and rs.error_bound_holds
+        np.testing.assert_allclose(rs.solution, rd.solution, atol=1e-7)
+        np.testing.assert_allclose(
+            sparse.exact_solution(b), dense.exact_solution(b), atol=1e-8
+        )
+
+    def test_sparse_exact_preconditioner(self, solver_graph):
+        rng = np.random.default_rng(18)
+        b = rng.normal(size=solver_graph.n)
+        solver = BCCLaplacianSolver(solver_graph, exact_preconditioner=True, backend="sparse")
+        report = solver.solve(b, eps=1e-8, check=True)
+        assert report.error_bound_holds
+        L = laplacian_matrix(solver_graph)
+        residual = L @ report.solution - (b - b.mean())
+        assert np.linalg.norm(residual) <= 1e-6 * max(1.0, np.linalg.norm(b))

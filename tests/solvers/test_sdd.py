@@ -108,3 +108,30 @@ class TestSDDSolver:
         solver = SDDSolver(random_sdd_matrix(5))
         with pytest.raises(ValueError):
             solver.solve(np.zeros(3))
+
+
+class TestSparseDirectBackend:
+    def test_sparse_backend_matches_dense(self):
+        M = random_sdd_matrix(14, seed=21, with_positive_offdiag=True)
+        rng = np.random.default_rng(22)
+        x_true = rng.normal(size=14)
+        b = M @ x_true
+        xd = SDDSolver(M, method="direct", backend="dense").solve(b)
+        xs = SDDSolver(M, method="direct", backend="sparse").solve(b)
+        np.testing.assert_allclose(xs, xd, atol=1e-8)
+        np.testing.assert_allclose(xs, x_true, atol=1e-7)
+
+    def test_sparse_backend_on_singular_laplacian_input(self):
+        g = generators.random_weighted_graph(10, seed=23)
+        M = laplacian_matrix(g)
+        rng = np.random.default_rng(24)
+        x_true = rng.normal(size=10)
+        x_true -= x_true.mean()
+        b = M @ x_true  # consistent by construction
+        xs = SDDSolver(M, method="direct", backend="sparse").solve(b)
+        np.testing.assert_allclose(M @ xs, b, atol=1e-8)
+
+    def test_unknown_backend_rejected(self):
+        M = random_sdd_matrix(6, seed=25)
+        with pytest.raises(ValueError, match="backend"):
+            SDDSolver(M, backend="gpu")
