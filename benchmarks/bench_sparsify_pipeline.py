@@ -1,0 +1,114 @@
+"""E-sparsify-pipeline -- end-to-end sparsify + certify trajectory benchmark.
+
+Times ``spectral_sparsify`` followed by sparse certification at
+``n in {512, 2000}`` (the workload the PR-2 vectorisation targets: the
+pre-vectorisation path took ~1.9s / ~18.9s end-to-end on these cases, the
+array-native path ~0.6s / ~3.5s) and appends the measurements to a
+``BENCH_sparsify.json`` trajectory file at the repo root, so perf regressions
+of the spanner/bundle/sparsify hot path and of sparse certification show up
+as a kink in the recorded series rather than silently.
+
+Runs both as a pytest-benchmark module and as a plain script:
+
+    PYTHONPATH=src python benchmarks/bench_sparsify_pipeline.py
+"""
+
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.laplacian import spectral_approximation_factor
+from repro.sparsify import spectral_sparsify
+
+#: benchmark sizes; the larger one is infeasible for the dense certifier path
+SIZES = (512, 2000)
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_sparsify.json"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_case(n: int, seed: int = 7, eps: float = 0.5, t_override: int = 2) -> dict:
+    """Sparsify + certify one seeded random graph; return the measurements."""
+    graph = generators.random_weighted_graph(n, average_degree=8, seed=seed)
+    result, sparsify_seconds = _timed(
+        lambda: spectral_sparsify(graph, eps=eps, seed=seed + 4, t_override=t_override)
+    )
+    (lo, hi), certify_seconds = _timed(
+        lambda: spectral_approximation_factor(graph, result.sparsifier, backend="sparse")
+    )
+    return {
+        "n": n,
+        "m": graph.m,
+        "eps": eps,
+        "t_override": t_override,
+        "sparsifier_edges": result.size,
+        "sparsify_seconds": round(sparsify_seconds, 4),
+        "certify_seconds": round(certify_seconds, 4),
+        "total_seconds": round(sparsify_seconds + certify_seconds, 4),
+        "spectral_window": [round(lo, 6), round(hi, 6)],
+        "max_out_degree": result.max_out_degree(),
+        "rounds": result.rounds,
+    }
+
+
+def append_trajectory(cases: list) -> list:
+    """Append the measured cases to the BENCH_sparsify.json trajectory.
+
+    The trajectory is a flat list with one record per measured case (tagged
+    with a shared timestamp), so the pytest-parametrized runs and the script
+    path produce identical schemas and a consumer can plot per-``n`` series
+    with a simple filter.
+    """
+    trajectory = []
+    if TRAJECTORY_PATH.exists():
+        try:
+            trajectory = json.loads(TRAJECTORY_PATH.read_text())
+        except json.JSONDecodeError:
+            trajectory = []
+    timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    records = [{"timestamp": timestamp, **case} for case in cases]
+    trajectory.extend(records)
+    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return records
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_sparsify_and_certify_pipeline(benchmark, n):
+    case = {}
+
+    def run():
+        case.clear()
+        case.update(run_case(n))
+        return case
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    for key, value in case.items():
+        benchmark.extra_info[key] = value
+    append_trajectory([case])
+    lo, hi = case["spectral_window"]
+    # the sparsifier must at least be non-degenerate at these parameters
+    assert lo > 0 and hi < float("inf")
+
+
+def main():
+    cases = [run_case(n) for n in SIZES]
+    records = append_trajectory(cases)
+    for case in cases:
+        print(
+            f"n={case['n']} m={case['m']}: sparsify {case['sparsify_seconds']:.2f}s, "
+            f"certify {case['certify_seconds']:.2f}s, window {case['spectral_window']}"
+        )
+    print(f"appended {len(records)} records to {TRAJECTORY_PATH.name}")
+
+
+if __name__ == "__main__":
+    main()

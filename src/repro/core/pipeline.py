@@ -59,10 +59,13 @@ def run_full_pipeline(
     rng = np.random.default_rng(seed)
     report = PipelineReport()
 
+    # undirected unit-weight support: dedupe arc directions, one bulk insert
     support = WeightedGraph(network.n)
-    for (u, v) in network.edge_keys():
-        if not support.has_edge(u, v):
-            support.add_edge(u, v, 1.0)
+    keys = np.array(
+        sorted({(u, v) if u < v else (v, u) for (u, v) in network.edge_keys()}),
+        dtype=np.int64,
+    ).reshape(-1, 2)
+    support.add_edges(keys[:, 0], keys[:, 1], 1.0)
 
     spanner_result = probabilistic_spanner(support, k=2, seed=seed)
     report.spanner_edges = len(spanner_result.f_plus)

@@ -80,6 +80,41 @@ class WeightedGraph:
         self._adj[v].add(u)
         self._edge_arrays = None
 
+    def add_edges(self, u, v, weight=1.0) -> None:
+        """Vectorised bulk form of :meth:`add_edge`.
+
+        ``u`` and ``v`` are aligned integer array-likes; ``weight`` is either a
+        scalar or an aligned array of positive weights.  Validation matches the
+        scalar path (range checks, no self-loops, positive weights) but runs as
+        whole-array predicates, and the weight dictionary is filled with one
+        bulk ``update`` instead of ``m`` Python-level calls.  Duplicate pairs
+        within one batch behave like repeated ``add_edge``: the last one wins.
+        """
+        u = np.asarray(u, dtype=np.int64).ravel()
+        v = np.asarray(v, dtype=np.int64).ravel()
+        if u.shape != v.shape:
+            raise ValueError(f"endpoint arrays must align, got {u.shape} vs {v.shape}")
+        if u.size == 0:
+            return
+        w = np.broadcast_to(np.asarray(weight, dtype=np.float64), u.shape)
+        if int(min(u.min(), v.min())) < 0 or int(max(u.max(), v.max())) >= self._n:
+            raise ValueError(f"edge endpoints out of range [0, {self._n})")
+        if np.any(u == v):
+            bad = int(u[np.argmax(u == v)])
+            raise ValueError(f"self-loops are not allowed: ({bad}, {bad})")
+        if np.any(w <= 0):
+            raise ValueError(
+                f"edge weights must be positive, got {float(w[np.argmax(w <= 0)])}"
+            )
+        lo = np.minimum(u, v).tolist()
+        hi = np.maximum(u, v).tolist()
+        self._weights.update(zip(zip(lo, hi), w.tolist()))
+        adj = self._adj
+        for a, b in zip(lo, hi):
+            adj[a].add(b)
+            adj[b].add(a)
+        self._edge_arrays = None
+
     def remove_edge(self, u: int, v: int) -> None:
         """Remove the edge ``{u, v}``.
 
@@ -316,3 +351,96 @@ class WeightedGraph:
     def _check_vertex(self, v: int) -> None:
         if not (0 <= v < self._n):
             raise ValueError(f"vertex {v} out of range [0, {self._n})")
+
+
+class EdgeView:
+    """Array-native view of an alive subset of a fixed base edge set.
+
+    The spanner/bundle/sparsify layers repeatedly run on "the input graph
+    minus the edges decided so far".  Materialising each of those residual
+    graphs as a :class:`WeightedGraph` costs a dict + adjacency rebuild per
+    call; an ``EdgeView`` instead shares three aligned base columns
+    ``(u, v, w)`` in canonical edge order (as produced by
+    :meth:`WeightedGraph.edge_array`) plus a boolean ``alive`` mask, so
+    peeling edges off is an O(decided) mask update and a fresh view is O(1).
+
+    ``w`` is owned by the creator and may be mutated in place between runs
+    (the sparsification loop quadruples the weights of surviving non-bundle
+    edges); ``alive`` must not be mutated once a view has been handed to a
+    consumer -- derive a new view with :meth:`subview` instead.
+    """
+
+    __slots__ = ("n", "u", "v", "w", "alive")
+
+    def __init__(
+        self,
+        n: int,
+        u: np.ndarray,
+        v: np.ndarray,
+        w: np.ndarray,
+        alive: Optional[np.ndarray] = None,
+    ):
+        self.n = int(n)
+        self.u = u
+        self.v = v
+        self.w = w
+        self.alive = np.ones(u.shape[0], dtype=bool) if alive is None else alive
+
+    @classmethod
+    def from_graph(cls, graph: "WeightedGraph") -> "EdgeView":
+        """Full view of ``graph`` with a private, mutable weight column."""
+        u, v, w = graph.edge_array()
+        return cls(graph.n, u, v, w.copy(), np.ones(u.shape[0], dtype=bool))
+
+    @property
+    def base_m(self) -> int:
+        """Number of base edges (alive or not)."""
+        return self.u.shape[0]
+
+    @property
+    def m(self) -> int:
+        """Number of alive edges."""
+        return int(np.count_nonzero(self.alive))
+
+    def subview(self, alive: np.ndarray) -> "EdgeView":
+        """A sibling view over the same base arrays with a different mask."""
+        return EdgeView(self.n, self.u, self.v, self.w, alive)
+
+    def alive_indices(self) -> np.ndarray:
+        """Base indices of the alive edges, ascending (= canonical edge order)."""
+        return np.flatnonzero(self.alive)
+
+    def max_weight(self) -> float:
+        """Largest alive edge weight, or 0.0 when no edge is alive."""
+        if not np.any(self.alive):
+            return 0.0
+        return float(np.max(self.w[self.alive]))
+
+    def edge_key(self, index: int) -> Tuple[int, int]:
+        """Canonical key of base edge ``index``."""
+        return (int(self.u[index]), int(self.v[index]))
+
+    def adjacency_lists(self) -> List[List[Tuple[int, float, int]]]:
+        """Per-vertex ``(neighbour, weight, edge_index)`` lists over alive edges.
+
+        Built in one pass over the alive edges in canonical order, which keeps
+        every per-vertex list sorted by neighbour identifier: for a vertex
+        ``x`` the lower neighbours arrive from edges ``(u, x)`` in ascending
+        ``u`` (first coordinate ``u < x``), all before the higher neighbours
+        from edges ``(x, v)`` in ascending ``v``.
+        """
+        adj: List[List[Tuple[int, float, int]]] = [[] for _ in range(self.n)]
+        idx = self.alive_indices()
+        for ei, a, b, weight in zip(
+            idx.tolist(), self.u[idx].tolist(), self.v[idx].tolist(), self.w[idx].tolist()
+        ):
+            adj[a].append((b, weight, ei))
+            adj[b].append((a, weight, ei))
+        return adj
+
+    def to_graph(self) -> "WeightedGraph":
+        """Materialise the alive edges as a :class:`WeightedGraph`."""
+        graph = WeightedGraph(self.n)
+        idx = self.alive_indices()
+        graph.add_edges(self.u[idx], self.v[idx], self.w[idx])
+        return graph

@@ -30,7 +30,7 @@ statements make.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -104,6 +104,16 @@ def laplacian_quadratic_form_vectorized(graph: WeightedGraph, x: np.ndarray) -> 
 # -- grounded factorisation ----------------------------------------------------
 
 
+def grounding_keep_indices(n: int, components) -> np.ndarray:
+    """Indices that survive grounding one (minimum) vertex per component."""
+    grounded = np.fromiter(
+        sorted(int(min(c)) for c in components), dtype=np.int64
+    )
+    keep = np.ones(n, dtype=bool)
+    keep[grounded] = False
+    return np.flatnonzero(keep)
+
+
 class GroundedLaplacianSolver:
     """Direct Laplacian solver: ground one vertex per component, ``splu`` once.
 
@@ -121,12 +131,7 @@ class GroundedLaplacianSolver:
         self._components: List[np.ndarray] = [
             np.fromiter(sorted(c), dtype=np.int64, count=len(c)) for c in components
         ]
-        grounded = np.fromiter(
-            sorted(int(min(c)) for c in components), dtype=np.int64, count=len(components)
-        )
-        keep = np.ones(self.n, dtype=bool)
-        keep[grounded] = False
-        self._keep_idx = np.flatnonzero(keep)
+        self._keep_idx = grounding_keep_indices(self.n, components)
         # position of each vertex inside the reduced system (-1 = grounded)
         self._position = np.full(self.n, -1, dtype=np.int64)
         self._position[self._keep_idx] = np.arange(self._keep_idx.size)
@@ -215,6 +220,112 @@ def effective_resistances_sparse(
         stop = min(m, start + batch_size)
         resistances[start:stop] = solver.edge_resistances(u[start:stop], v[start:stop])
     return resistances
+
+
+# -- spectral certification ----------------------------------------------------
+
+#: Reduced-system size below which the generalized eigenproblem is solved
+#: densely (ARPACK needs ``k < n`` and tiny pencils are cheaper with LAPACK).
+DENSE_EIG_FALLBACK = 64
+
+#: Largest reduced system the ARPACK-failure path may densify: above this,
+#: ``toarray()`` + LAPACK would cost the O(n^2) memory / O(n^3) time the
+#: sparse certifier exists to avoid, so a relaxed-tolerance retry runs instead.
+DENSE_EIG_FALLBACK_LIMIT = 2048
+
+#: Relative accuracy requested from ARPACK for the pencil extremes; small
+#: enough that dense/sparse certification agree to ~1e-8.
+PENCIL_EIG_TOL = 1e-12
+
+#: Tolerance of the large-system retry after an ARPACK convergence failure.
+PENCIL_EIG_TOL_RELAXED = 1e-8
+
+
+def _reduced_pencil(
+    graph: WeightedGraph, sparsifier: WeightedGraph, components
+) -> Tuple[sp.csc_matrix, sp.csc_matrix, int]:
+    """Ground one vertex per component and return the reduced SPD pencil.
+
+    Assumes (caller-checked) that ``graph`` and ``sparsifier`` have identical
+    connected-component partitions (``components`` is that shared partition):
+    the generalized Rayleigh quotient ``x^T L_G x / x^T L_H x`` is invariant
+    under per-component shifts, so every nontrivial direction can be
+    represented with the grounded coordinates zeroed and the reduced pencil
+    has exactly the restricted generalized eigenvalues of ``(L_G, L_H)``.
+    """
+    keep_idx = grounding_keep_indices(graph.n, components)
+    A = laplacian_csr(graph)[keep_idx][:, keep_idx].tocsc()
+    B = laplacian_csr(sparsifier)[keep_idx][:, keep_idx].tocsc()
+    return A, B, keep_idx.size
+
+
+def _dense_pencil_extremes(A, B) -> Tuple[float, float]:
+    import scipy.linalg as sla
+
+    vals = sla.eigh(A.toarray(), B.toarray(), eigvals_only=True)
+    return float(vals[0]), float(vals[-1])
+
+
+def pencil_extreme_eigenvalues(
+    graph: WeightedGraph,
+    sparsifier: WeightedGraph,
+    tol: float = PENCIL_EIG_TOL,
+    components=None,
+) -> Tuple[float, float]:
+    """Extreme generalized eigenvalues ``(lo, hi)`` of ``(L_G, L_H)``.
+
+    ``lo`` and ``hi`` are the smallest/largest ``lambda`` with
+    ``L_G x = lambda L_H x`` over the space orthogonal to the (common) kernel,
+    i.e. the tightest pair with ``lo L_H <= L_G <= hi L_H``.  Both graphs must
+    have the same connected-component partition (the caller guarantees this,
+    and passes it as ``components`` when already computed -- the certification
+    front-end builds it anyway for the partition-equality check), which makes
+    the grounded pencil SPD on both sides.
+
+    The largest eigenvalue of an SPD pencil is where Lanczos shines, so
+    ``hi`` comes from ``eigsh(A, M=B, which='LA')`` directly and ``lo`` from
+    the reversed pencil as ``1 / max-eig(B, A)`` -- no shift-invert and never
+    a dense ``n x n`` matrix.  Tiny reduced systems fall back to the LAPACK
+    generalized solver, as does an ARPACK convergence failure up to
+    ``DENSE_EIG_FALLBACK_LIMIT`` unknowns; beyond that size a failure retries
+    with a relaxed tolerance and a larger Krylov basis rather than densify.
+    """
+    if components is None:
+        components = graph.connected_components()
+    A, B, n_reduced = _reduced_pencil(graph, sparsifier, components)
+    if n_reduced == 0:
+        # every component is a singleton: both Laplacians are identically zero
+        return (1.0, 1.0)
+    if n_reduced <= DENSE_EIG_FALLBACK:
+        return _dense_pencil_extremes(A, B)
+    # seeded starting vector: ARPACK otherwise randomises v0, which would make
+    # repeated certifications of the same pair differ within the tolerance
+    v0 = np.random.default_rng(0x5EED).standard_normal(n_reduced)
+
+    def extremes(eig_tol: float, ncv: Optional[int] = None) -> Tuple[float, float]:
+        hi = float(
+            spla.eigsh(
+                A, k=1, M=B, which="LA", tol=eig_tol, v0=v0, ncv=ncv,
+                return_eigenvectors=False,
+            )[0]
+        )
+        lo_inv = float(
+            spla.eigsh(
+                B, k=1, M=A, which="LA", tol=eig_tol, v0=v0, ncv=ncv,
+                return_eigenvectors=False,
+            )[0]
+        )
+        return (1.0 / lo_inv, hi)
+
+    try:
+        return extremes(tol)
+    except (spla.ArpackError, spla.ArpackNoConvergence):
+        if n_reduced <= DENSE_EIG_FALLBACK_LIMIT:
+            return _dense_pencil_extremes(A, B)
+        # Densifying here would cost the O(n^2) memory the sparse certifier
+        # exists to avoid; retry with a looser tolerance and a larger Krylov
+        # basis instead (still within the documented ~1e-8 agreement).
+        return extremes(PENCIL_EIG_TOL_RELAXED, ncv=min(n_reduced - 1, 64))
 
 
 # -- operator adapters ---------------------------------------------------------

@@ -72,6 +72,10 @@ def preconditioned_chebyshev(
         a dense or sparse matrix is likewise accepted.
     b:
         Right-hand side (must lie in the range of ``A`` for singular systems).
+        May also be an ``(n, k)`` block of right-hand sides: the recurrence
+        coefficients are independent of ``b``, so all columns advance in
+        lockstep through block matvecs/solves and the reported residual norms
+        are Frobenius norms of the block residual.
     kappa:
         Relative condition number bound of the pair ``(A, B)``.
     eps:

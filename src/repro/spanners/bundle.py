@@ -9,27 +9,44 @@ or ``F-``) by the previous call, exactly as in Algorithm 3:
     E_i  <-  E_{i-1} \\ (F+_i | F-_i)
     B    <-  union of the F+_i        (the bundle)
     C    <-  union of the F-_i        (the edges sampled out)
+
+The residual edge sets ``E_i`` are represented as boolean masks over the base
+edge columns of an :class:`repro.graphs.graph.EdgeView` -- each layer is a
+fresh subview, and removing the decided edges is one bulk index assignment
+instead of a per-edge graph rebuild.  The rng call sequence matches the
+historical rebuild-a-graph implementation exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
-from repro.graphs.graph import WeightedGraph
-from repro.spanners.probabilistic import ProbabilisticSpanner, SpannerResult
+from repro.graphs.graph import EdgeView, WeightedGraph
+from repro.spanners.probabilistic import (
+    ProbabilisticSpanner,
+    SpannerResult,
+    resolve_edge_probabilities,
+)
 
 EdgeKey = Tuple[int, int]
 
 
 @dataclass
 class BundleResult:
-    """Output of ``BundleSpanner``: the bundle ``B`` and the rejected set ``C``."""
+    """Output of ``BundleSpanner``: the bundle ``B`` and the rejected set ``C``.
+
+    ``bundle`` / ``rejected`` hold canonical edge keys; ``bundle_idx`` /
+    ``rejected_idx`` hold the same edges as base indices of the view the
+    bundle ran on (for bulk mask updates in the sparsification loop).
+    """
 
     bundle: Set[EdgeKey] = field(default_factory=set)
     rejected: Set[EdgeKey] = field(default_factory=set)
+    bundle_idx: Set[int] = field(default_factory=set)
+    rejected_idx: Set[int] = field(default_factory=set)
     per_spanner: List[SpannerResult] = field(default_factory=list)
     rounds: int = 0
 
@@ -47,52 +64,61 @@ class BundleResult:
 
 
 def bundle_spanner(
-    graph: WeightedGraph,
-    probabilities: Optional[Dict[EdgeKey, float]] = None,
+    graph: Union[WeightedGraph, EdgeView],
+    probabilities: Optional[Union[Dict[EdgeKey, float], np.ndarray]] = None,
     k: int = 2,
     t: int = 1,
     seed: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
+    record_broadcasts: bool = True,
 ) -> BundleResult:
     """Compute a ``t``-bundle of ``(2k-1)``-spanners (Algorithm 3).
 
     Parameters
     ----------
     graph:
-        Weighted input graph.
+        Weighted input graph, or an :class:`EdgeView` of one (the
+        sparsification loop passes views to avoid materialising residual
+        graphs).
     probabilities:
-        Maintained existence probability per edge (defaults to 1 everywhere).
+        Maintained existence probability per edge: a dict keyed by canonical
+        edge, or an array aligned with the view's base edge columns (defaults
+        to 1 everywhere).
     k:
         Stretch parameter of the individual spanners.
     t:
         Number of spanners in the bundle.
+    record_broadcasts:
+        Whether the per-spanner broadcast transcripts are kept (rounds are
+        accounted either way; the sparsification loops switch this off).
     """
     if t < 1:
         raise ValueError(f"bundle size t must be >= 1, got {t}")
     rng = rng if rng is not None else np.random.default_rng(seed)
-    probabilities = dict(probabilities) if probabilities is not None else None
+    view = graph if isinstance(graph, EdgeView) else EdgeView.from_graph(graph)
+    # Resolve dict/None probabilities once; every layer shares the array.
+    prob = resolve_edge_probabilities(view, probabilities)
 
     result = BundleResult()
-    remaining = graph.copy()
+    alive = view.alive
     for _ in range(t):
-        if remaining.m == 0:
+        if not alive.any():
             break
-        restricted_p = None
-        if probabilities is not None:
-            restricted_p = {
-                edge.key: probabilities.get(edge.key, 1.0) for edge in remaining.edges()
-            }
         spanner = ProbabilisticSpanner(
-            remaining, probabilities=restricted_p, k=k, rng=rng
+            view.subview(alive),
+            probabilities=prob,
+            k=k,
+            rng=rng,
+            record_broadcasts=record_broadcasts,
         ).run()
         result.per_spanner.append(spanner)
         result.bundle |= spanner.f_plus
         result.rejected |= spanner.f_minus
+        result.bundle_idx |= spanner.f_plus_idx
+        result.rejected_idx |= spanner.f_minus_idx
         result.rounds += spanner.rounds
-        decided = spanner.f_plus | spanner.f_minus
-        next_graph = WeightedGraph(remaining.n)
-        for edge in remaining.edges():
-            if edge.key not in decided:
-                next_graph.add_edge(edge.u, edge.v, edge.weight)
-        remaining = next_graph
+        decided = spanner.f_plus_idx | spanner.f_minus_idx
+        alive = alive.copy()
+        if decided:
+            alive[np.fromiter(decided, dtype=np.int64, count=len(decided))] = False
     return result

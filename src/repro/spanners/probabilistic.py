@@ -18,23 +18,90 @@ rounds.  The bookkeeping of the *receiving* endpoint (the "implicit
 communication" of the sampling outcome) is applied symmetrically; the test
 suite checks that the receiver could have reconstructed it from the broadcast
 alone (the three rules of Section 3.1).
+
+Data model
+----------
+The executor runs on an :class:`repro.graphs.graph.EdgeView` -- three aligned
+``(u, v, w)`` edge columns plus an alive mask -- rather than on a dict-based
+:class:`WeightedGraph`.  The bundle/sparsify layers call the spanner
+``t * ceil(log m)`` times per run on ever-shrinking residual edge sets;
+with views each call shares the base arrays and only carries a fresh mask,
+instead of rebuilding a graph edge by edge.  A plain ``WeightedGraph`` input
+is wrapped into a full view transparently, and the decided edges are reported
+both as canonical keys (``f_plus`` / ``f_minus``) and as base edge indices
+(``f_plus_idx`` / ``f_minus_idx``) so callers can update masks in bulk.
+
+The rng call sequence is identical to the historical dict-of-edges
+implementation (per-centre marking in sorted order, per-candidate coin flips
+inside ``Connect``), which ``tests/sparsify/test_vectorized_equivalence.py``
+pins on seeded graphs.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
-from repro.graphs.graph import WeightedGraph, canonical_edge
-from repro.spanners.connect import connect
+from operator import itemgetter
+
+from repro.graphs.graph import EdgeView, WeightedGraph, canonical_edge
 
 EdgeKey = Tuple[int, int]
 
 #: Sentinel broadcast when Connect fails (the paper's bottom symbol).
 BOTTOM = None
+
+#: (neighbour, edge weight, base edge index) as stored in the adjacency lists.
+AdjEntry = Tuple[int, float, int]
+
+#: Connect's scan order, line 1 of Algorithm 2: ascending (weight, identifier).
+_by_weight_then_id = itemgetter(1, 0)
+
+
+def resolve_edge_probabilities(
+    view: EdgeView,
+    probabilities: Optional[Union[Dict[EdgeKey, float], np.ndarray]],
+) -> np.ndarray:
+    """Normalise ``probabilities`` to an array aligned with ``view``'s base edges.
+
+    ``None`` means ``p === 1``.  A dict maps canonical edge keys to
+    probabilities (missing keys default to 1.0, matching the historical API);
+    an ndarray is taken as already aligned with the base edge columns.  Values
+    are validated to lie in ``[0, 1]`` for the alive edges only -- dead edges
+    are never sampled, so their entries are irrelevant.
+    """
+    base_m = view.base_m
+    if probabilities is None:
+        return np.ones(base_m)
+    if isinstance(probabilities, np.ndarray):
+        prob = np.asarray(probabilities, dtype=float)
+        if prob.shape != (base_m,):
+            raise ValueError(
+                f"probability array must have shape ({base_m},), got {prob.shape}"
+            )
+        alive_p = prob[view.alive]
+        if alive_p.size and (float(alive_p.min()) < 0.0 or float(alive_p.max()) > 1.0):
+            bad = np.flatnonzero(view.alive)[
+                int(np.argmax((alive_p < 0.0) | (alive_p > 1.0)))
+            ]
+            raise ValueError(
+                f"edge probability for {view.edge_key(int(bad))} must lie in "
+                f"[0, 1], got {float(prob[bad])}"
+            )
+        return prob
+    prob = np.ones(base_m)
+    idx = view.alive_indices()
+    for ei, a, b in zip(idx.tolist(), view.u[idx].tolist(), view.v[idx].tolist()):
+        p = float(probabilities.get((a, b), 1.0))
+        if not (0.0 <= p <= 1.0):
+            raise ValueError(
+                f"edge probability for {(a, b)} must lie in [0, 1], got {p}"
+            )
+        prob[ei] = p
+    return prob
 
 
 @dataclass(frozen=True)
@@ -56,13 +123,17 @@ class SpannerResult:
     ``f_plus`` / ``f_minus`` are the global edge sets; ``f_plus_of`` /
     ``f_minus_of`` are the per-vertex views (``u in f_plus_of[v]`` iff the edge
     ``(u, v)`` is in ``F+``), which is the local form in which a distributed
-    execution would hold the output.
+    execution would hold the output.  ``f_plus_idx`` / ``f_minus_idx`` hold the
+    same decisions as base edge indices of the view the spanner ran on, which
+    is what the bundle/sparsify layers consume for bulk mask updates.
     """
 
     n: int
     k: int
     f_plus: Set[EdgeKey] = field(default_factory=set)
     f_minus: Set[EdgeKey] = field(default_factory=set)
+    f_plus_idx: Set[int] = field(default_factory=set)
+    f_minus_idx: Set[int] = field(default_factory=set)
     f_plus_of: Dict[int, Set[int]] = field(default_factory=dict)
     f_minus_of: Dict[int, Set[int]] = field(default_factory=dict)
     orientation: Dict[EdgeKey, Tuple[int, int]] = field(default_factory=dict)
@@ -96,27 +167,30 @@ class ProbabilisticSpanner:
 
     def __init__(
         self,
-        graph: WeightedGraph,
-        probabilities: Optional[Dict[EdgeKey, float]] = None,
+        graph: Union[WeightedGraph, EdgeView],
+        probabilities: Optional[Union[Dict[EdgeKey, float], np.ndarray]] = None,
         k: int = 2,
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
         marking_bits: Optional[List[Dict[int, bool]]] = None,
+        record_broadcasts: bool = True,
     ):
         if k < 1:
             raise ValueError(f"stretch parameter k must be >= 1, got {k}")
-        self.graph = graph
+        self.view = graph if isinstance(graph, EdgeView) else EdgeView.from_graph(graph)
         self.k = int(k)
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.marking_bits = marking_bits
-        self.probability: Dict[EdgeKey, float] = {}
-        for edge in graph.edges():
-            p = 1.0 if probabilities is None else float(probabilities.get(edge.key, 1.0))
-            if not (0.0 <= p <= 1.0):
-                raise ValueError(f"edge probability for {edge.key} must lie in [0, 1], got {p}")
-            self.probability[edge.key] = p
+        # The broadcast transcript documents the distributed execution but is
+        # dead weight for the sparsification loops, which only consume edge
+        # sets and round counts; they opt out (rng draws are unaffected).
+        self.record_broadcasts = bool(record_broadcasts)
+        self._prob = resolve_edge_probabilities(self.view, probabilities)
+        # hot per-candidate reads go through plain Python floats, not numpy scalars
+        self._prob_list = self._prob.tolist()
+        self._adj = self.view.adjacency_lists()
 
-        n = graph.n
+        n = self.view.n
         self.result = SpannerResult(
             n=n,
             k=self.k,
@@ -125,15 +199,20 @@ class ProbabilisticSpanner:
         )
         # cluster_of[v] = identifier (centre) of the R_i cluster containing v.
         self.cluster_of: Dict[int, int] = {v: v for v in range(n)}
+        # list mirror of cluster_of for O(1) hot-loop lookups (-1 = unclustered)
+        # and the sorted vertex scan order, both rebuilt whenever cluster_of is
+        # replaced (it is constant within a phase).
+        self._cluster_list: List[int] = list(range(n))
+        self._sorted_clustered: List[int] = list(range(n))
         self.word_bits = max(1, math.ceil(math.log2(max(2, n))))
-        max_weight = max(2.0, graph.max_weight())
+        max_weight = max(2.0, self.view.max_weight())
         self.words_per_message = 1 + math.ceil(math.log2(max_weight) / self.word_bits)
 
     # -- public API -----------------------------------------------------------
 
     def run(self) -> SpannerResult:
         """Execute all ``k - 1`` phases plus the final step and return the result."""
-        mark_probability = self.graph.n ** (-1.0 / self.k)
+        mark_probability = self.view.n ** (-1.0 / self.k)
         for phase in range(self.k - 1):
             self.result.clusters_per_phase.append(dict(self.cluster_of))
             marked = self._mark_clusters(phase, mark_probability)
@@ -144,11 +223,19 @@ class ProbabilisticSpanner:
             self._step_unmarked_to_unmarked(phase, marked, smaller_ids=True)
             self._step_unmarked_to_unmarked(phase, marked, smaller_ids=False)
             self.cluster_of = new_cluster_of
+            self._rebuild_cluster_list()
             # Step 1 dissemination of the marking through the cluster trees.
             self.result.rounds += max(1, self.k - 1)
         self.result.clusters_per_phase.append(dict(self.cluster_of))
         self._final_step()
         return self.result
+
+    def _rebuild_cluster_list(self) -> None:
+        lst = [-1] * self.view.n
+        for v, c in self.cluster_of.items():
+            lst[v] = c
+        self._cluster_list = lst
+        self._sorted_clustered = sorted(self.cluster_of)
 
     # -- phase steps ------------------------------------------------------------
 
@@ -171,29 +258,70 @@ class ProbabilisticSpanner:
         """
         self.w_threshold: Dict[int, Tuple[float, float]] = {}
         messages_per_vertex: Dict[int, int] = {}
-        for v in sorted(self.cluster_of):
-            if self.cluster_of[v] in marked:
+        cluster_of = self.cluster_of
+        cluster_list = self._cluster_list
+        for v in self._sorted_clustered:
+            if cluster_of[v] in marked:
                 continue
             candidates = [
-                u
-                for u in self._alive_neighbours(v)
-                if self.cluster_of.get(u) in marked
+                entry
+                for entry in self._alive_neighbours(v)
+                if cluster_list[entry[0]] in marked
             ]
-            outcome = self._run_connect(v, candidates)
+            accepted, rejected = (
+                self._run_connect(candidates) if candidates else (None, ())
+            )
             messages_per_vertex[v] = 1
-            if outcome.accepted is None:
+            if accepted is None:
                 self.w_threshold[v] = (math.inf, math.inf)
                 self._record_broadcast(phase, "step2", v, None, None, None)
             else:
-                u = outcome.accepted
-                self.w_threshold[v] = (self.graph.weight(u, v), u)
-                new_cluster_of[v] = self.cluster_of[u]
-                self._add_spanner_edge(v, u)
-                self._record_broadcast(
-                    phase, "step2", v, self.cluster_of[u], u, self.graph.weight(u, v)
-                )
-            self._reject_edges(v, outcome.rejected)
+                u, w_uv, ei = accepted
+                self.w_threshold[v] = (w_uv, u)
+                new_cluster_of[v] = cluster_list[u]
+                self._add_spanner_edge(v, u, ei)
+                self._record_broadcast(phase, "step2", v, cluster_list[u], u, w_uv)
+            if rejected:
+                self._reject_edges(v, rejected)
         self._charge_step(messages_per_vertex)
+
+    def _clustered_neighbours(
+        self, v: int, threshold: Optional[Tuple[float, float]] = None
+    ) -> Dict[int, List[AdjEntry]]:
+        """Alive neighbours of ``v`` grouped by their cluster, one pass.
+
+        Entry order within each group follows the adjacency lists (ascending
+        identifier), matching what a per-cluster scan would produce.  With a
+        ``threshold``, only entries with ``(w, u) < threshold`` are kept (the
+        step-3 restriction).  Grouping once per vertex replaces the historical
+        scan-all-neighbours-per-adjacent-cluster loop, which was quadratic in
+        the degree; it is safe because the edges a vertex rejects while
+        processing one cluster all lead *into* that cluster and therefore
+        never alter the candidate lists of the clusters still to come.
+        """
+        cluster_list = self._cluster_list
+        groups: Dict[int, List[AdjEntry]] = {}
+        if threshold is None:
+            for entry in self._alive_neighbours(v):
+                cluster = cluster_list[entry[0]]
+                if cluster < 0:
+                    continue
+                group = groups.get(cluster)
+                if group is None:
+                    groups[cluster] = [entry]
+                else:
+                    group.append(entry)
+        else:
+            for entry in self._alive_neighbours(v):
+                cluster = cluster_list[entry[0]]
+                if cluster < 0 or (entry[1], entry[0]) >= threshold:
+                    continue
+                group = groups.get(cluster)
+                if group is None:
+                    groups[cluster] = [entry]
+                else:
+                    group.append(entry)
+        return groups
 
     def _step_unmarked_to_unmarked(
         self, phase: int, marked: Set[int], smaller_ids: bool
@@ -201,38 +329,29 @@ class ProbabilisticSpanner:
         """Steps 3.1 / 3.2: connections between unmarked clusters, split by ID."""
         step_name = "step3.1" if smaller_ids else "step3.2"
         messages_per_vertex: Dict[int, int] = {}
-        for v in sorted(self.cluster_of):
-            own_cluster = self.cluster_of[v]
+        cluster_of = self.cluster_of
+        for v in self._sorted_clustered:
+            own_cluster = cluster_of[v]
             if own_cluster in marked:
                 continue
             threshold = self.w_threshold.get(v, (math.inf, math.inf))
-            neighbour_clusters = self._adjacent_clusters(
-                v, exclude=marked | {own_cluster}
-            )
-            for cluster in sorted(neighbour_clusters):
+            groups = self._clustered_neighbours(v, threshold=threshold)
+            for cluster in sorted(groups):
+                if cluster in marked or cluster == own_cluster:
+                    continue
                 if smaller_ids and cluster > own_cluster:
                     continue
                 if (not smaller_ids) and cluster <= own_cluster:
                     continue
-                candidates = [
-                    u
-                    for u in self._alive_neighbours(v)
-                    if self.cluster_of.get(u) == cluster
-                    and (self.graph.weight(u, v), u) < threshold
-                ]
-                if not candidates:
-                    continue
-                outcome = self._run_connect(v, candidates)
+                accepted, rejected = self._run_connect(groups[cluster])
                 messages_per_vertex[v] = messages_per_vertex.get(v, 0) + 1
-                if outcome.accepted is None:
+                if accepted is None:
                     self._record_broadcast(phase, step_name, v, cluster, None, None)
                 else:
-                    u = outcome.accepted
-                    self._add_spanner_edge(v, u)
-                    self._record_broadcast(
-                        phase, step_name, v, cluster, u, self.graph.weight(u, v)
-                    )
-                self._reject_edges(v, outcome.rejected)
+                    u, w_uv, ei = accepted
+                    self._add_spanner_edge(v, u, ei)
+                    self._record_broadcast(phase, step_name, v, cluster, u, w_uv)
+                self._reject_edges(v, rejected)
         self._charge_step(messages_per_vertex)
 
     def _final_step(self) -> None:
@@ -242,101 +361,121 @@ class ProbabilisticSpanner:
 
         # 4.1 -- vertices outside any surviving cluster.
         messages_per_vertex: Dict[int, int] = {}
-        for v in range(self.graph.n):
+        for v in range(self.view.n):
             if v in self.cluster_of:
                 continue
-            self._connect_to_each_cluster(v, surviving, phase, "step4.1", messages_per_vertex)
+            groups = self._clustered_neighbours(v)
+            self._connect_to_each_cluster(
+                v, groups, surviving, phase, "step4.1", messages_per_vertex
+            )
         self._charge_step(messages_per_vertex)
 
         # 4.2 / 4.3 -- vertices inside surviving clusters, split by cluster ID.
         for smaller_ids, step_name in ((True, "step4.2"), (False, "step4.3")):
             messages_per_vertex = {}
-            for v in sorted(self.cluster_of):
+            for v in self._sorted_clustered:
                 own_cluster = self.cluster_of[v]
+                groups = self._clustered_neighbours(v)
                 targets = {
                     c
-                    for c in self._adjacent_clusters(v, exclude={own_cluster})
-                    if c in surviving
+                    for c in groups
+                    if c != own_cluster
+                    and c in surviving
                     and ((c <= own_cluster) if smaller_ids else (c > own_cluster))
                 }
-                self._connect_to_each_cluster(v, targets, phase, step_name, messages_per_vertex)
+                self._connect_to_each_cluster(
+                    v, groups, targets, phase, step_name, messages_per_vertex
+                )
             self._charge_step(messages_per_vertex)
 
     def _connect_to_each_cluster(
         self,
         v: int,
+        groups: Dict[int, List[AdjEntry]],
         clusters: Set[int],
         phase: int,
         step_name: str,
         messages_per_vertex: Dict[int, int],
     ) -> None:
         for cluster in sorted(clusters):
-            candidates = [
-                u
-                for u in self._alive_neighbours(v)
-                if self.cluster_of.get(u) == cluster
-            ]
+            candidates = groups.get(cluster)
             if not candidates:
                 continue
-            outcome = self._run_connect(v, candidates)
+            accepted, rejected = self._run_connect(candidates)
             messages_per_vertex[v] = messages_per_vertex.get(v, 0) + 1
-            if outcome.accepted is None:
+            if accepted is None:
                 self._record_broadcast(phase, step_name, v, cluster, None, None)
             else:
-                u = outcome.accepted
-                self._add_spanner_edge(v, u)
-                self._record_broadcast(
-                    phase, step_name, v, cluster, u, self.graph.weight(u, v)
-                )
-            self._reject_edges(v, outcome.rejected)
+                u, w_uv, ei = accepted
+                self._add_spanner_edge(v, u, ei)
+                self._record_broadcast(phase, step_name, v, cluster, u, w_uv)
+            self._reject_edges(v, rejected)
 
     # -- local state helpers -------------------------------------------------------
 
-    def _alive_neighbours(self, v: int) -> List[int]:
-        """``N_v``: graph neighbours whose edge has not been declared non-existent."""
+    def _alive_neighbours(self, v: int) -> List[AdjEntry]:
+        """``N_v`` as ``(u, w, edge_index)`` entries, sorted by identifier.
+
+        The adjacency lists already exclude edges dead in the view; only the
+        edges declared non-existent *during this run* are filtered here.
+        """
         deleted = self.result.f_minus_of[v]
-        return [u for u in sorted(self.graph.neighbours(v)) if u not in deleted]
+        entries = self._adj[v]
+        if not deleted:
+            return entries
+        return [entry for entry in entries if entry[0] not in deleted]
 
-    def _adjacent_clusters(self, v: int, exclude: Set[int]) -> Set[int]:
-        """Identifiers of clusters adjacent to ``v`` through alive edges."""
-        clusters = set()
-        for u in self._alive_neighbours(v):
-            cluster = self.cluster_of.get(u)
-            if cluster is not None and cluster not in exclude:
-                clusters.add(cluster)
-        return clusters
+    def _run_connect(
+        self, candidates: Sequence[AdjEntry]
+    ) -> Tuple[Optional[AdjEntry], List[Tuple[int, int]]]:
+        """Inline ``Connect`` (Algorithm 2) over ``(u, w, edge_index)`` entries.
 
-    def _run_connect(self, v: int, candidates: Sequence[int]):
-        weights = {u: self.graph.weight(u, v) for u in candidates}
-        probabilities = {u: self._edge_probability(u, v) for u in candidates}
-        return connect(candidates, weights, probabilities, self.rng)
+        Scans the candidates in ascending ``(weight, identifier)`` order,
+        flipping one coin per inspected candidate with its maintained
+        probability (edges already in ``F+`` count as probability 1), and
+        returns the accepted entry -- or ``None``, the paper's bottom symbol
+        -- plus the rejected prefix ``N^-`` as ``(u, edge_index)`` pairs.
 
-    def _edge_probability(self, u: int, v: int) -> float:
-        """Existence probability of an edge, accounting for edges already accepted."""
-        key = canonical_edge(u, v)
-        if key in self.result.f_plus:
-            return 1.0
-        return self.probability[key]
+        This draws exactly the rng sequence of the standalone reference
+        :func:`repro.spanners.connect.connect` (one uniform per inspected
+        candidate, drawn *before* the ``p >= 1`` short-circuit is evaluated);
+        inlining merely avoids building three dicts and a result object per
+        call on the hot path.
+        """
+        ordered = sorted(candidates, key=_by_weight_then_id)
+        rejected: List[Tuple[int, int]] = []
+        rng_random = self.rng.random
+        f_plus_idx = self.result.f_plus_idx
+        prob = self._prob_list
+        for entry in ordered:
+            ei = entry[2]
+            p = 1.0 if ei in f_plus_idx else prob[ei]
+            if rng_random() < p or p >= 1.0:
+                return entry, rejected
+            rejected.append((entry[0], ei))
+        return None, rejected
 
-    def _add_spanner_edge(self, adder: int, other: int) -> None:
-        key = canonical_edge(adder, other)
-        if key not in self.result.f_plus:
+    def _add_spanner_edge(self, adder: int, other: int, edge_index: int) -> None:
+        if edge_index not in self.result.f_plus_idx:
+            key = canonical_edge(adder, other)
             self.result.orientation[key] = (adder, other)
-        self.result.f_plus.add(key)
+            self.result.f_plus_idx.add(edge_index)
+            self.result.f_plus.add(key)
         self.result.f_plus_of[adder].add(other)
         self.result.f_plus_of[other].add(adder)
 
-    def _reject_edges(self, v: int, rejected: Sequence[int]) -> None:
-        for u in rejected:
-            key = canonical_edge(u, v)
-            if key in self.result.f_plus:
+    def _reject_edges(self, v: int, rejected: Sequence[Tuple[int, int]]) -> None:
+        result = self.result
+        for u, ei in rejected:
+            if ei in result.f_plus_idx:
                 raise RuntimeError(
-                    f"edge {key} was sampled out after having been accepted; "
-                    "this indicates a bookkeeping bug"
+                    f"edge {canonical_edge(u, v)} was sampled out after having "
+                    "been accepted; this indicates a bookkeeping bug"
                 )
-            self.result.f_minus.add(key)
-            self.result.f_minus_of[v].add(u)
-            self.result.f_minus_of[u].add(v)
+            result.f_minus_idx.add(ei)
+            result.f_minus.add(canonical_edge(u, v))
+            result.f_minus_of[v].add(u)
+            result.f_minus_of[u].add(v)
 
     def _record_broadcast(
         self,
@@ -347,6 +486,8 @@ class ProbabilisticSpanner:
         accepted: Optional[int],
         weight: Optional[float],
     ) -> None:
+        if not self.record_broadcasts:
+            return
         self.result.broadcasts.append(
             BroadcastRecord(
                 phase=phase,
@@ -369,8 +510,8 @@ class ProbabilisticSpanner:
 
 
 def probabilistic_spanner(
-    graph: WeightedGraph,
-    probabilities: Optional[Dict[EdgeKey, float]] = None,
+    graph: Union[WeightedGraph, EdgeView],
+    probabilities: Optional[Union[Dict[EdgeKey, float], np.ndarray]] = None,
     k: int = 2,
     seed: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,

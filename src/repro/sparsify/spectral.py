@@ -15,17 +15,28 @@ the final bundle together with the surviving sampled edges.
 
 Lemma 3.3 states that the two algorithms produce identically distributed
 outputs; ``tests/sparsify`` checks this empirically on small graphs.
+
+Implementation note: the outer loops are array-native.  The residual edge set,
+the maintained probabilities and the growing weights all live in numpy arrays
+aligned with the input graph's canonical edge columns
+(:class:`repro.graphs.graph.EdgeView`); one iteration's ``p/4`` / ``w*4``
+reweighting is a pair of masked array operations, and the final 1/4-sampling
+draws its coins in one batched ``rng.random(count)`` call -- which consumes
+the *same* underlying random stream as the historical per-edge scalar calls,
+so seeded outputs are bit-identical to the per-edge implementation
+(``tests/sparsify/test_vectorized_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.graphs.graph import WeightedGraph, canonical_edge
+from repro.graphs.graph import EdgeView, WeightedGraph
 from repro.spanners.bundle import bundle_spanner
 
 EdgeKey = Tuple[int, int]
@@ -82,21 +93,36 @@ class SparsifierResult:
         """Number of edges of the sparsifier."""
         return self.sparsifier.m
 
-    def certify(self, graph: WeightedGraph, eps: float, slack: float = 1e-7) -> bool:
+    def certify(
+        self,
+        graph: WeightedGraph,
+        eps: float,
+        slack: float = 1e-7,
+        backend: str = "auto",
+    ) -> bool:
         """Empirically verify Definition 2.1 against ``graph``.
 
         Degenerate sparsifiers (empty or disconnected relative to a connected
         input) are reported as failures, never certified vacuously.
+
+        ``backend`` selects the certification path (see
+        :func:`repro.graphs.laplacian.spectral_approximation_factor`):
+        ``'dense'`` is the ``np.linalg.eigh`` reference, ``'sparse'`` solves
+        the reduced generalised eigenproblem with ``scipy.sparse.linalg`` and
+        is the scalable route for ``n >= 10^3``, and ``'auto'`` (default)
+        switches on graph size.
         """
         from repro.graphs.laplacian import is_spectral_sparsifier
 
-        return is_spectral_sparsifier(graph, self.sparsifier, eps, slack=slack)
+        return is_spectral_sparsifier(
+            graph, self.sparsifier, eps, slack=slack, backend=backend
+        )
 
     def max_out_degree(self) -> int:
-        degrees: Dict[int, int] = {v: 0 for v in range(self.sparsifier.n)}
-        for tail, _head in self.orientation.values():
-            degrees[tail] += 1
-        return max(degrees.values()) if degrees else 0
+        if not self.orientation:
+            return 0
+        tails = Counter(tail for tail, _head in self.orientation.values())
+        return max(tails.values())
 
 
 def _iteration_count(m: int) -> int:
@@ -134,71 +160,90 @@ def spectral_sparsify(
     k = k_override if k_override is not None else stretch_parameter(n)
     t = t_override if t_override is not None else bundle_size(n, eps, bundle_scale)
 
-    current = graph.copy()
-    probability: Dict[EdgeKey, float] = {edge.key: 1.0 for edge in graph.edges()}
+    view = EdgeView.from_graph(graph)  # private mutable weight column
+    base_m = view.base_m
+    edge_u, edge_v, weights = view.u, view.v, view.w
+    alive = np.ones(base_m, dtype=bool)
+    probability = np.ones(base_m)
     result = SparsifierResult(sparsifier=WeightedGraph(n))
-    last_bundle: Set[EdgeKey] = set()
+    last_bundle_idx = np.zeros(0, dtype=np.int64)
     last_orientation: Dict[EdgeKey, Tuple[int, int]] = {}
 
     for iteration in range(1, _iteration_count(graph.m) + 1):
-        restricted_p = {(u, v): probability[(u, v)] for (u, v, _) in current.edge_list()}
-        bundle = bundle_spanner(current, probabilities=restricted_p, k=k, t=t, rng=rng)
-        last_bundle = set(bundle.bundle)
+        # the bundle keeps the mask it was handed (EdgeView contract), so give
+        # it a copy: this loop mutates `alive` in place right below
+        bundle = bundle_spanner(
+            view.subview(alive.copy()),
+            probabilities=probability,
+            k=k,
+            t=t,
+            rng=rng,
+            record_broadcasts=False,
+        )
+        bundle_idx = np.fromiter(
+            bundle.bundle_idx, dtype=np.int64, count=len(bundle.bundle_idx)
+        )
+        rejected_idx = np.fromiter(
+            bundle.rejected_idx, dtype=np.int64, count=len(bundle.rejected_idx)
+        )
+        last_bundle_idx = bundle_idx
         last_orientation = bundle.orientation()
         result.rounds += bundle.rounds
 
         # E_i <- E_{i-1} \ C_i ; p <- 1 on the bundle, p/4 and w*4 elsewhere.
-        next_graph = WeightedGraph(n)
-        for u, v, weight in current.edge_list():
-            key = (u, v)
-            if key in bundle.rejected:
-                probability.pop(key, None)
-                continue
-            if key in bundle.bundle:
-                probability[key] = 1.0
-                next_graph.add_edge(u, v, weight)
-            else:
-                probability[key] = probability[key] / 4.0
-                next_graph.add_edge(u, v, 4.0 * weight)
+        bundle_mask = np.zeros(base_m, dtype=bool)
+        bundle_mask[bundle_idx] = True
+        alive[rejected_idx] = False
+        survivors = alive & ~bundle_mask
+        probability[survivors] /= 4.0
+        weights[survivors] *= 4.0
+        probability[bundle_idx] = 1.0
         result.iterations.append(
             IterationRecord(
                 iteration=iteration,
                 bundle_edges=len(bundle.bundle),
                 rejected_edges=len(bundle.rejected),
-                remaining_edges=next_graph.m,
+                remaining_edges=int(np.count_nonzero(alive)),
                 rounds=bundle.rounds,
             )
         )
-        current = next_graph
 
     # Final step: keep the last bundle, sample the remaining edges with their
-    # maintained probability (lines 11-15 of Algorithm 5).
+    # maintained probability (lines 11-15 of Algorithm 5).  The coins are
+    # drawn in one batch over the non-bundle edges in canonical order, which
+    # consumes the rng stream exactly like per-edge draws would.
+    alive_idx = np.flatnonzero(alive)
+    bundle_mask = np.zeros(base_m, dtype=bool)
+    bundle_mask[last_bundle_idx] = True
+    in_bundle = bundle_mask[alive_idx]
+    kept_bundle = alive_idx[in_bundle]
+    candidates = alive_idx[~in_bundle]
+    coins = rng.random(candidates.size)
+    kept_sampled = candidates[coins < probability[candidates]]
+
+    keep_idx = np.sort(np.concatenate([kept_bundle, kept_sampled]))
     sparsifier = WeightedGraph(n)
+    sparsifier.add_edges(edge_u[keep_idx], edge_v[keep_idx], weights[keep_idx])
+
     orientation: Dict[EdgeKey, Tuple[int, int]] = {}
-    broadcasts_per_vertex: Dict[int, int] = {}
-    for u, v, weight in current.edge_list():
-        key = (u, v)
-        if key in last_bundle:
-            sparsifier.add_edge(u, v, weight)
-            if key in last_orientation:
-                orientation[key] = last_orientation[key]
-            else:
-                orientation[key] = (u, v)
-            continue
-        # the endpoint with the smaller identifier performs the sampling
-        sampler = u
-        if rng.random() < probability[key]:
-            sparsifier.add_edge(u, v, weight)
-            orientation[key] = (sampler, v)
-            broadcasts_per_vertex[sampler] = broadcasts_per_vertex.get(sampler, 0) + 1
-    if broadcasts_per_vertex:
-        result.rounds += max(broadcasts_per_vertex.values())
+    for a, b in zip(edge_u[kept_bundle].tolist(), edge_v[kept_bundle].tolist()):
+        orientation[(a, b)] = last_orientation.get((a, b), (a, b))
+    # the endpoint with the smaller identifier performs the sampling
+    for a, b in zip(edge_u[kept_sampled].tolist(), edge_v[kept_sampled].tolist()):
+        orientation[(a, b)] = (a, b)
+    if kept_sampled.size:
+        result.rounds += int(np.bincount(edge_u[kept_sampled]).max())
     else:
         result.rounds += 1
 
     result.sparsifier = sparsifier
     result.orientation = orientation
-    result.final_probabilities = dict(probability)
+    result.final_probabilities = dict(
+        zip(
+            zip(edge_u[alive_idx].tolist(), edge_v[alive_idx].tolist()),
+            probability[alive_idx].tolist(),
+        )
+    )
     return result
 
 
@@ -224,42 +269,57 @@ def spectral_sparsify_apriori(
     k = k_override if k_override is not None else stretch_parameter(n)
     t = t_override if t_override is not None else bundle_size(n, eps, bundle_scale)
 
-    current = graph.copy()
+    view = EdgeView.from_graph(graph)
+    base_m = view.base_m
+    edge_u, edge_v, weights = view.u, view.v, view.w
+    alive = np.ones(base_m, dtype=bool)
     result = SparsifierResult(sparsifier=WeightedGraph(n))
     orientation: Dict[EdgeKey, Tuple[int, int]] = {}
 
     for iteration in range(1, _iteration_count(graph.m) + 1):
-        bundle = bundle_spanner(current, probabilities=None, k=k, t=t, rng=rng)
+        bundle = bundle_spanner(
+            view.subview(alive),
+            probabilities=None,
+            k=k,
+            t=t,
+            rng=rng,
+            record_broadcasts=False,
+        )
         result.rounds += bundle.rounds
         bundle_orientation = bundle.orientation()
-
-        next_graph = WeightedGraph(n)
         for key in sorted(bundle.bundle):
-            u, v = key
-            next_graph.add_edge(u, v, current.weight(u, v))
-            orientation[key] = bundle_orientation.get(key, (u, v))
-        sampled = 0
-        for u, v, weight in current.edge_list():
-            if (u, v) in bundle.bundle:
-                continue
-            if rng.random() < 0.25:
-                next_graph.add_edge(u, v, 4.0 * weight)
-                orientation[(u, v)] = (u, v)
-                sampled += 1
+            orientation[key] = bundle_orientation.get(key, key)
+
+        bundle_idx = np.fromiter(
+            bundle.bundle_idx, dtype=np.int64, count=len(bundle.bundle_idx)
+        )
+        bundle_mask = np.zeros(base_m, dtype=bool)
+        bundle_mask[bundle_idx] = True
+        alive_idx = np.flatnonzero(alive)
+        candidates = alive_idx[~bundle_mask[alive_idx]]
+        coins = rng.random(candidates.size)
+        kept_sampled = candidates[coins < 0.25]
+        weights[kept_sampled] *= 4.0
+        for a, b in zip(edge_u[kept_sampled].tolist(), edge_v[kept_sampled].tolist()):
+            orientation[(a, b)] = (a, b)
+
+        alive = np.zeros(base_m, dtype=bool)
+        alive[bundle_idx] = True
+        alive[kept_sampled] = True
         result.iterations.append(
             IterationRecord(
                 iteration=iteration,
                 bundle_edges=len(bundle.bundle),
                 rejected_edges=0,
-                remaining_edges=next_graph.m,
+                remaining_edges=int(np.count_nonzero(alive)),
                 rounds=bundle.rounds,
             )
         )
-        current = next_graph
 
-    result.sparsifier = current
+    result.sparsifier = view.subview(alive).to_graph()
+    alive_idx = np.flatnonzero(alive)
     result.orientation = {
-        key: orientation.get(key, (min(key), max(key)))
-        for key in (edge.key for edge in current.edges())
+        (a, b): orientation.get((a, b), (a, b))
+        for a, b in zip(edge_u[alive_idx].tolist(), edge_v[alive_idx].tolist())
     }
     return result
