@@ -1,0 +1,196 @@
+"""E-serve -- throughput benchmark of the batched Laplacian query service.
+
+Measures the two amortisations the serving layer exists for and appends the
+measurements to a ``BENCH_serve.json`` trajectory at the repo root:
+
+* **cold vs warm cache** -- a cold query pays per-query solver construction
+  (sparsifier + factorisation); a warm query reuses the cached artifacts.
+  The floor asserted at ``n = 2000`` is a 5x speedup.
+* **batch=1 vs batch=64** -- 64 sequential effective-resistance queries vs
+  one coalesced batch through the cached grounded factorisation.  The floor
+  asserted at ``n = 2000`` is 3x.
+
+Workloads cover the scenario spread: random weighted graphs at
+``n in {512, 2000}``, a ``100 x 100`` grid (``n = 10^4``), a Barabasi-Albert
+power-law graph and a Watts-Strogatz small-world graph.  Runs as a plain
+script (what CI executes) or as an explicitly named pytest-benchmark module
+(directory collection only picks up ``test_*.py``):
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py --benchmark-only
+"""
+
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.serve import LaplacianService
+from repro.solvers import BCCLaplacianSolver
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: sparsifier iteration knob used everywhere (paper constants swallow small n)
+T_OVERRIDE = 2
+
+#: queries per warm-phase measurement
+WARM_QUERIES = 8
+
+#: resistance batch size of the coalescing measurement
+RESISTANCE_BATCH = 64
+
+#: asserted floors at n = 2000 (the ISSUE 3 acceptance criteria)
+WARM_SPEEDUP_FLOOR = 5.0
+BATCH_SPEEDUP_FLOOR = 3.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def make_workloads():
+    """Named seeded workloads; ``heavy`` marks the n = 10^4 grid."""
+    return [
+        ("random-512", lambda: generators.random_weighted_graph(512, average_degree=8, seed=7), False),
+        ("random-2000", lambda: generators.random_weighted_graph(2000, average_degree=8, seed=7), False),
+        ("barabasi-albert-2000", lambda: generators.barabasi_albert(2000, attach=4, seed=11), False),
+        ("watts-strogatz-2000", lambda: generators.watts_strogatz(2000, k=6, beta=0.1, seed=13), False),
+        ("grid-100x100", lambda: generators.grid_graph(100, 100), True),
+    ]
+
+
+def run_case(name: str, graph, warm_queries: int = WARM_QUERIES) -> dict:
+    """Serve one workload; return cold/warm/batched throughput measurements."""
+    rng = np.random.default_rng(42)
+    rhs = [rng.normal(size=graph.n) for _ in range(warm_queries)]
+
+    # cold per-query construction: what the facade did before the serving
+    # layer existed -- build solver preprocessing from scratch for one query.
+    def cold_query():
+        solver = BCCLaplacianSolver(graph, seed=0, t_override=T_OVERRIDE)
+        return solver.solve(rhs[0], eps=1e-6)
+
+    _, cold_seconds = _timed(cold_query)
+
+    service = LaplacianService(t_override=T_OVERRIDE, auto_flush=False)
+    key = service.register(graph, name=name)
+    service.solve(key, rhs[0], eps=1e-6)  # populate the cache
+
+    _, warm_total = _timed(
+        lambda: [service.solve(key, b, eps=1e-6) for b in rhs]
+    )
+    warm_seconds = warm_total / warm_queries
+
+    pairs = [
+        (int(u), int(v))
+        for u, v in zip(
+            rng.integers(0, graph.n, RESISTANCE_BATCH),
+            rng.integers(0, graph.n, RESISTANCE_BATCH),
+        )
+    ]
+    service.effective_resistance(key, *pairs[0])  # warm the factorisation
+    sequential, sequential_seconds = _timed(
+        lambda: [service.effective_resistance(key, u, v) for u, v in pairs]
+    )
+    batched, batched_seconds = _timed(
+        lambda: service.effective_resistances(key, pairs)
+    )
+    np.testing.assert_allclose(batched, sequential, rtol=1e-9, atol=1e-12)
+
+    snapshot = service.metrics_snapshot()
+    service.close()
+    return {
+        "case": name,
+        "n": graph.n,
+        "m": graph.m,
+        "t_override": T_OVERRIDE,
+        "cold_solve_seconds": round(cold_seconds, 4),
+        "warm_solve_seconds": round(warm_seconds, 6),
+        "warm_speedup": round(cold_seconds / max(warm_seconds, 1e-12), 2),
+        "warm_queries_per_second": round(1.0 / max(warm_seconds, 1e-12), 1),
+        "resistance_batch": RESISTANCE_BATCH,
+        "sequential_resistance_seconds": round(sequential_seconds, 4),
+        "batched_resistance_seconds": round(batched_seconds, 4),
+        "batch_speedup": round(sequential_seconds / max(batched_seconds, 1e-12), 2),
+        "cache_hit_rate": round(snapshot["cache"]["hit_rate"], 4),
+        "batch_occupancy": round(snapshot["batch_occupancy"], 2),
+        "cache_bytes": snapshot["cache_bytes"],
+    }
+
+
+def append_trajectory(cases) -> None:
+    history = []
+    if TRAJECTORY_PATH.exists():
+        history = json.loads(TRAJECTORY_PATH.read_text())
+    stamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    for case in cases:
+        history.append({"timestamp": stamp, **case})
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+# -- pytest entry points --------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,factory", [(n, f) for n, f, heavy in make_workloads() if not heavy]
+)
+def test_serve_throughput(benchmark, name, factory):
+    graph = factory()
+    stats = benchmark.pedantic(lambda: run_case(name, graph), iterations=1, rounds=1)
+    for key, value in stats.items():
+        benchmark.extra_info[key] = value
+    assert stats["warm_speedup"] >= 1.0
+
+
+def test_serve_floors_at_n2000():
+    """The ISSUE 3 acceptance floors, asserted on the n=2000 random workload."""
+    graph = generators.random_weighted_graph(2000, average_degree=8, seed=7)
+    stats = run_case("random-2000", graph)
+    assert stats["warm_speedup"] >= WARM_SPEEDUP_FLOOR, (
+        f"warm-cache speedup regressed below {WARM_SPEEDUP_FLOOR}x: {stats}"
+    )
+    assert stats["batch_speedup"] >= BATCH_SPEEDUP_FLOOR, (
+        f"batched resistance speedup regressed below {BATCH_SPEEDUP_FLOOR}x: {stats}"
+    )
+
+
+# -- script entry point ---------------------------------------------------------
+
+
+def main():
+    cases = []
+    for name, factory, heavy in make_workloads():
+        graph = factory()
+        stats = run_case(name, graph)
+        cases.append(stats)
+        print(
+            f"{name:>22} (n={stats['n']}, m={stats['m']}): "
+            f"cold {stats['cold_solve_seconds']:.3f}s, "
+            f"warm {stats['warm_solve_seconds']*1000:.1f}ms "
+            f"({stats['warm_speedup']:.0f}x, {stats['warm_queries_per_second']:.0f} q/s), "
+            f"ER batch={RESISTANCE_BATCH} {stats['batch_speedup']:.1f}x"
+        )
+    append_trajectory(cases)
+    by_case = {c["case"]: c for c in cases}
+    floors = by_case["random-2000"]
+    if floors["warm_speedup"] < WARM_SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"FAIL: warm-cache speedup {floors['warm_speedup']}x below floor "
+            f"{WARM_SPEEDUP_FLOOR}x at n=2000"
+        )
+    if floors["batch_speedup"] < BATCH_SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"FAIL: batched resistance speedup {floors['batch_speedup']}x below "
+            f"floor {BATCH_SPEEDUP_FLOOR}x at n=2000"
+        )
+    print(f"PASS (trajectory appended to {TRAJECTORY_PATH.name})")
+
+
+if __name__ == "__main__":
+    main()

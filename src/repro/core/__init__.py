@@ -11,9 +11,11 @@ carries the round accounting used by the experiments in EXPERIMENTS.md.
 """
 
 from repro.core.api import (
+    effective_resistances,
     min_cost_max_flow,
     solve_laplacian,
     solve_lp,
+    solve_many,
     spanner,
     spectral_sparsifier,
 )
@@ -23,6 +25,8 @@ __all__ = [
     "spanner",
     "spectral_sparsifier",
     "solve_laplacian",
+    "solve_many",
+    "effective_resistances",
     "solve_lp",
     "min_cost_max_flow",
     "run_full_pipeline",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -10,6 +10,8 @@ from repro.flow.mincostflow import MinCostFlowResult
 from repro.flow.mincostflow import min_cost_max_flow as _min_cost_max_flow
 from repro.graphs.digraph import FlowNetwork
 from repro.graphs.graph import WeightedGraph
+from repro.graphs.laplacian import effective_resistances as _edge_effective_resistances
+from repro.linalg.sparse_backend import GroundedLaplacianSolver, resolve_backend
 from repro.lp.barrier_ipm import BarrierIPM
 from repro.lp.lee_sidford import LeeSidfordSolver
 from repro.lp.problem import LPProblem, LPSolution
@@ -59,6 +61,79 @@ def solve_laplacian(
     if solver is None:
         solver = BCCLaplacianSolver(graph, seed=seed, **kwargs)
     return solver.solve(b, eps=eps)
+
+
+def solve_many(
+    graph: WeightedGraph,
+    rhs: Sequence[np.ndarray],
+    eps: float = 1e-6,
+    seed: Optional[int] = None,
+    solver: Optional[BCCLaplacianSolver] = None,
+    **kwargs,
+) -> List[LaplacianSolveReport]:
+    """Solve ``L_G x = b`` for every ``b`` in ``rhs`` with ONE blocked
+    Chebyshev iteration (Theorem 1.3 amortised over instances).
+
+    All instances share the preprocessing sparsifier and advance in lockstep
+    on an ``(n, k)`` block, so at ``k`` right-hand sides the per-instance cost
+    is a fraction of ``k`` separate :func:`solve_laplacian` calls.  Pass an
+    existing :class:`BCCLaplacianSolver` (e.g. one holding cached
+    preprocessing from the serving layer) to skip preprocessing entirely.
+    """
+    if solver is None:
+        solver = BCCLaplacianSolver(graph, seed=seed, **kwargs)
+    return solver.solve_many(list(rhs), eps=eps)
+
+
+def effective_resistances(
+    graph: WeightedGraph,
+    pairs: Optional[Iterable[Tuple[int, int]]] = None,
+    backend: str = "auto",
+    solver=None,
+) -> np.ndarray:
+    """Effective resistances, batched through one Laplacian factorisation.
+
+    With ``pairs=None`` this returns the resistance of every edge in
+    canonical order (delegating to
+    :func:`repro.graphs.laplacian.effective_resistances`).  With an iterable
+    of ``(u, v)`` vertex pairs -- which need not be edges -- all queries are
+    answered from a single factorisation (sparse backend) or pseudoinverse
+    (dense backend): ``u == v`` pairs report ``0`` and cross-component pairs
+    ``inf``.  Pass ``solver`` to reuse an already-built
+    :class:`GroundedLaplacianSolver` or
+    :class:`~repro.linalg.sparse_backend.ResistanceOracle` (the serving layer
+    caches one per graph); anything with a ``pair_resistances(u, v)`` method
+    works.
+    """
+    if pairs is None and solver is None:
+        return _edge_effective_resistances(graph, backend=backend)
+    if pairs is None:
+        u, v, _ = graph.edge_array()
+    else:
+        pair_array = np.asarray(list(pairs), dtype=np.int64)
+        if pair_array.size == 0:
+            return np.zeros(0)
+        if pair_array.ndim != 2 or pair_array.shape[1] != 2:
+            raise ValueError(f"pairs must be (u, v) tuples, got shape {pair_array.shape}")
+        u, v = pair_array[:, 0], pair_array[:, 1]
+    if solver is not None:
+        return solver.pair_resistances(u, v)
+    if resolve_backend(graph, backend) == "sparse":
+        return GroundedLaplacianSolver(graph).pair_resistances(u, v)
+    # dense reference: read all pair resistances off the pseudoinverse, with
+    # the same cross-component semantics as the grounded path
+    if u.size and (int(min(u.min(), v.min())) < 0 or int(max(u.max(), v.max())) >= graph.n):
+        raise ValueError(f"pair endpoints out of range [0, {graph.n})")
+    from repro.graphs.laplacian import laplacian_pseudoinverse
+
+    labels = np.empty(graph.n, dtype=np.int64)
+    for i, component in enumerate(graph.connected_components()):
+        labels[sorted(component)] = i
+    Lplus = laplacian_pseudoinverse(graph)
+    resistances = Lplus[u, u] + Lplus[v, v] - 2.0 * Lplus[u, v]
+    resistances[labels[u] != labels[v]] = np.inf
+    resistances[u == v] = 0.0
+    return resistances
 
 
 def solve_lp(

@@ -23,7 +23,12 @@ def _rng(seed: RngLike) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def _connect_components(graph: WeightedGraph, rng: np.random.Generator, max_weight: float) -> None:
+def _connect_components(
+    graph: WeightedGraph,
+    rng: np.random.Generator,
+    max_weight: float,
+    fixed_weight: Optional[float] = None,
+) -> None:
     """Add random edges between components in one sweep until connected.
 
     One components pass instead of the previous quadratic recompute-per-edge
@@ -32,6 +37,10 @@ def _connect_components(graph: WeightedGraph, rng: np.random.Generator, max_weig
     component (which always contains vertex 0, hence always comes first in a
     recomputed component list), then ``choice`` over the sorted next component,
     then ``integers`` for the weight.
+
+    ``fixed_weight`` bypasses the integer weight draw for generators whose
+    contract is a uniform edge weight (e.g. :func:`watts_strogatz`); their
+    repair edges must carry the same weight as every other edge.
     """
     components = graph.connected_components()
     if len(components) <= 1:
@@ -42,7 +51,10 @@ def _connect_components(graph: WeightedGraph, rng: np.random.Generator, max_weig
         second = sorted(component)
         u = int(rng.choice(merged))
         v = int(rng.choice(second))
-        weight = float(rng.integers(1, max(2, int(max_weight)) + 1))
+        if fixed_weight is not None:
+            weight = float(fixed_weight)
+        else:
+            weight = float(rng.integers(1, max(2, int(max_weight)) + 1))
         graph.add_edge(u, v, weight)
         merged_set |= component
         merged = sorted(merged_set)
@@ -160,6 +172,86 @@ def random_regular_expander(n: int, degree: int = 8, seed: RngLike = None) -> We
             if u != v and not graph.has_edge(u, v):
                 graph.add_edge(u, v, 1.0)
     _connect_components(graph, rng, 1.0)
+    return graph
+
+
+def barabasi_albert(
+    n: int,
+    attach: int = 3,
+    weight: float = 1.0,
+    seed: RngLike = None,
+) -> WeightedGraph:
+    """Barabasi-Albert preferential attachment graph (power-law degrees).
+
+    Starts from a clique on ``attach + 1`` vertices; every later vertex
+    attaches to ``attach`` distinct existing vertices chosen with probability
+    proportional to their current degree (the classic repeated-endpoints
+    urn).  The result is connected by construction and has the heavy-tailed
+    degree distribution that stresses uniform-sampling sparsifiers -- the
+    serving benchmarks use it as the "scale-free" workload.
+    """
+    if attach < 1:
+        raise ValueError(f"attachment count must be >= 1, got {attach}")
+    if n <= attach + 1:
+        return complete_graph(n, weight)
+    rng = _rng(seed)
+    graph = WeightedGraph(n)
+    # urn of edge endpoints: each vertex appears once per incident edge
+    urn: list = []
+    for u in range(attach + 1):
+        for v in range(u + 1, attach + 1):
+            graph.add_edge(u, v, weight)
+            urn.extend((u, v))
+    for v in range(attach + 1, n):
+        targets: set = set()
+        while len(targets) < attach:
+            targets.add(int(urn[int(rng.integers(len(urn)))]))
+        for t in sorted(targets):
+            graph.add_edge(v, t, weight)
+            urn.extend((v, t))
+    return graph
+
+
+def watts_strogatz(
+    n: int,
+    k: int = 4,
+    beta: float = 0.1,
+    weight: float = 1.0,
+    seed: RngLike = None,
+    ensure_connected: bool = True,
+) -> WeightedGraph:
+    """Watts-Strogatz small-world graph: ring lattice with random rewiring.
+
+    Every vertex starts connected to its ``k`` nearest ring neighbours
+    (``k`` even); each lattice edge is then rewired with probability ``beta``
+    to a uniformly random non-duplicate endpoint.  ``beta = 0`` is the pure
+    lattice (long shortest paths), ``beta = 1`` close to a random graph; the
+    small-``beta`` regime keeps high clustering with short paths, a workload
+    shape neither grids nor Erdos-Renyi graphs cover.
+    """
+    if k % 2 != 0:
+        raise ValueError(f"lattice degree k must be even, got {k}")
+    if not (2 <= k < n):
+        raise ValueError(f"lattice degree k must lie in [2, n), got k={k}, n={n}")
+    if not (0.0 <= beta <= 1.0):
+        raise ValueError(f"rewiring probability must lie in [0, 1], got {beta}")
+    rng = _rng(seed)
+    graph = WeightedGraph(n)
+    for v in range(n):
+        for j in range(1, k // 2 + 1):
+            graph.add_edge(v, (v + j) % n, weight)
+    for v in range(n):
+        for j in range(1, k // 2 + 1):
+            target = (v + j) % n
+            if rng.random() >= beta or not graph.has_edge(v, target):
+                continue
+            candidate = int(rng.integers(n))
+            if candidate == v or graph.has_edge(v, candidate):
+                continue  # keep the lattice edge rather than retry (standard WS)
+            graph.remove_edge(v, target)
+            graph.add_edge(v, candidate, weight)
+    if ensure_connected:
+        _connect_components(graph, rng, weight, fixed_weight=weight)
     return graph
 
 

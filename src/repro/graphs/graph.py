@@ -62,6 +62,7 @@ class WeightedGraph:
         self._weights: Dict[Tuple[int, int], float] = {}
         self._adj: Dict[int, Set[int]] = {v: set() for v in range(self._n)}
         self._edge_arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._version = 0
         if edges is not None:
             for u, v, w in edges:
                 self.add_edge(u, v, w)
@@ -79,6 +80,7 @@ class WeightedGraph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._edge_arrays = None
+        self._version += 1
 
     def add_edges(self, u, v, weight=1.0) -> None:
         """Vectorised bulk form of :meth:`add_edge`.
@@ -114,6 +116,7 @@ class WeightedGraph:
             adj[a].add(b)
             adj[b].add(a)
         self._edge_arrays = None
+        self._version += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove the edge ``{u, v}``.
@@ -128,12 +131,14 @@ class WeightedGraph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._edge_arrays = None
+        self._version += 1
 
     def copy(self) -> "WeightedGraph":
         """Deep copy of this graph."""
         g = WeightedGraph(self._n)
         g._weights = dict(self._weights)
         g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        g._version = self._version
         return g
 
     @classmethod
@@ -171,6 +176,19 @@ class WeightedGraph:
     def m(self) -> int:
         """Number of edges."""
         return len(self._weights)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Bumped by every mutator (:meth:`add_edge`, :meth:`add_edges`,
+        :meth:`remove_edge`), so a holder of a graph reference -- e.g. the
+        serving layer's :class:`repro.serve.registry.GraphRegistry` -- can
+        detect that cached artifacts (sparsifiers, factorisations) built
+        against an earlier state of this object are stale instead of silently
+        serving them.
+        """
+        return self._version
 
     def vertices(self) -> range:
         """Iterable over vertex identifiers."""

@@ -1,0 +1,76 @@
+"""Serving layer: register graphs once, answer many queries cheaply.
+
+The paper's economics -- one expensive preprocessing pass (sparsifier +
+factorisation) amortised over many cheap solves -- only pays off if something
+*holds on to* the preprocessing between queries.  This package is that
+something:
+
+* :mod:`repro.serve.registry` -- content-fingerprinted graph handles with
+  mutation (version) tracking, so stale artifacts are detected, not served.
+* :mod:`repro.serve.artifacts` -- byte-accounted LRU cache of sparsifiers,
+  grounded factorisations and solver preprocessing.
+* :mod:`repro.serve.planner` -- coalesces heterogeneous queries into the
+  blocked ``solve_many`` / batched effective-resistance kernels.
+* :mod:`repro.serve.service` -- the :class:`LaplacianService` front door:
+  thread-safe submission queue, flush policy, serving metrics.
+
+Quickstart::
+
+    from repro.graphs import generators
+    from repro.serve import LaplacianService
+
+    service = LaplacianService(t_override=2)
+    key = service.register(generators.grid_graph(30, 30), name="grid30")
+    report = service.solve(key, b)                  # cold: builds artifacts
+    report = service.solve(key, b2)                 # warm: cache hit
+    resistances = service.effective_resistances(key, [(0, 1), (5, 9)])
+    print(service.metrics_snapshot()["cache"]["hit_rate"])
+"""
+
+from repro.serve.artifacts import ArtifactCache, CacheStats, estimate_nbytes
+from repro.serve.planner import (
+    CertificationReport,
+    Query,
+    QueryBatch,
+    QueryPlanner,
+    QueryResult,
+    certify_query,
+    resistance_batch_query,
+    resistance_query,
+    solve_query,
+)
+from repro.serve.registry import (
+    FingerprintCollisionError,
+    GraphRegistry,
+    RegisteredGraph,
+    graph_fingerprint,
+)
+from repro.serve.service import (
+    FlushPolicy,
+    LaplacianService,
+    QueryTicket,
+    ServiceMetrics,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "estimate_nbytes",
+    "CertificationReport",
+    "Query",
+    "QueryBatch",
+    "QueryPlanner",
+    "QueryResult",
+    "solve_query",
+    "resistance_query",
+    "resistance_batch_query",
+    "certify_query",
+    "FingerprintCollisionError",
+    "GraphRegistry",
+    "RegisteredGraph",
+    "graph_fingerprint",
+    "FlushPolicy",
+    "LaplacianService",
+    "QueryTicket",
+    "ServiceMetrics",
+]

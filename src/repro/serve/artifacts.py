@@ -1,0 +1,255 @@
+"""LRU artifact cache: sparsifiers, factorisations, solver preprocessing.
+
+Everything the serving layer computes that outlives one query lives here:
+per-``(graph, params)`` :class:`repro.solvers.laplacian.SolverPreprocessing`
+handles (each embedding its spectral sparsifier), grounded ``splu``
+factorisations (:class:`GroundedLaplacianSolver`), dense resistance oracles
+(:class:`ResistanceOracle`) and memoised certification reports.
+
+Keys embed the graph's **version** at build time, so a mutated graph can never
+hit an artifact built against its earlier content -- the lookup simply misses
+and the stale entry is swept by :meth:`ArtifactCache.invalidate_graph`.
+Eviction is LRU over *estimated bytes* (``max_bytes``) and entry count
+(``max_entries``): factorisations of ``n = 10^4`` grids weigh megabytes while
+tiny sparsifiers weigh kilobytes, so counting entries alone would let the
+cache blow past any memory budget.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+#: Default cache budget: enough for a handful of n ~ 10^4 factorisations.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def estimate_nbytes(obj: Any, _depth: int = 0) -> int:
+    """Best-effort resident-size estimate used for eviction accounting.
+
+    Exact for numpy arrays and scipy sparse matrices, delegated to the
+    object's own ``nbytes()`` when it offers one (solvers and preprocessing
+    handles do), recursive one level deep for containers, and
+    ``sys.getsizeof`` otherwise.  Estimates only steer eviction order and
+    budget accounting; they need to be the right order of magnitude, not
+    byte-exact.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if sp.issparse(obj):
+        total = 0
+        for attr in ("data", "indices", "indptr", "row", "col", "offsets"):
+            part = getattr(obj, attr, None)
+            if isinstance(part, np.ndarray):
+                total += int(part.nbytes)
+        return total or int(sys.getsizeof(obj))
+    nbytes = getattr(obj, "nbytes", None)
+    if callable(nbytes):
+        return int(nbytes())
+    if isinstance(nbytes, (int, np.integer)):
+        return int(nbytes)
+    if _depth < 2 and isinstance(obj, dict):
+        return int(sys.getsizeof(obj)) + sum(
+            estimate_nbytes(value, _depth + 1) for value in obj.values()
+        )
+    if _depth < 2 and isinstance(obj, (list, tuple, set, frozenset)):
+        return int(sys.getsizeof(obj)) + sum(
+            estimate_nbytes(item, _depth + 1) for item in obj
+        )
+    # WeightedGraph / SparsifierResult and friends: prefer their edge count
+    edge_count = getattr(obj, "m", None)
+    if isinstance(edge_count, (int, np.integer)):
+        # ~100 bytes/edge for the weight dict + adjacency sets (measured)
+        return 100 * int(edge_count) + int(sys.getsizeof(obj))
+    sparsifier = getattr(obj, "sparsifier", None)
+    if sparsifier is not None and _depth < 2:
+        return estimate_nbytes(sparsifier, _depth + 1) + int(sys.getsizeof(obj))
+    return int(sys.getsizeof(obj))
+
+
+@dataclass
+class CacheEntry:
+    """One cached artifact with its accounting metadata."""
+
+    key: Tuple[Hashable, ...]
+    value: Any
+    nbytes: int
+    graph_key: str
+    version: int
+    kind: str
+    build_seconds: float
+    hits: int = 0
+
+
+@dataclass
+class CacheStats:
+    """Aggregate counters; ``hit_rate`` is the serving-layer health metric."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    build_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+            "build_seconds": self.build_seconds,
+        }
+
+
+class ArtifactCache:
+    """Thread-safe LRU cache with byte-size accounting.
+
+    ``get_or_build`` is the single entry point: it either returns the cached
+    value (a *hit*, promoting the entry to most-recently-used) or runs the
+    builder and inserts the result.  Builders run outside the lock -- a
+    multi-second sparsifier build must not block unrelated lookups -- so two
+    racing threads may build the same artifact; the second insert finds the
+    key present and adopts the first value, which is safe because artifacts
+    are deterministic functions of ``(graph content, params)``.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        max_entries: Optional[int] = None,
+    ):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_bytes = int(max_bytes)
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple[Hashable, ...], CacheEntry]" = OrderedDict()
+        self._total_bytes = 0
+        self._lock = threading.RLock()
+        self.stats = CacheStats()
+
+    @staticmethod
+    def make_key(
+        graph_key: str, version: int, kind: str, params: Tuple[Hashable, ...] = ()
+    ) -> Tuple[Hashable, ...]:
+        """Canonical cache key; the embedded version is the staleness guard."""
+        return (graph_key, int(version), kind, tuple(params))
+
+    def get_or_build(
+        self,
+        graph_key: str,
+        version: int,
+        kind: str,
+        params: Tuple[Hashable, ...],
+        builder: Callable[[], Any],
+    ) -> Tuple[Any, bool]:
+        """Return ``(artifact, cache_hit)`` for the given identity."""
+        key = self.make_key(graph_key, version, kind, params)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                entry.hits += 1
+                self.stats.hits += 1
+                return entry.value, True
+        start = time.perf_counter()
+        value = builder()
+        build_seconds = time.perf_counter() - start
+        nbytes = estimate_nbytes(value)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                # lost a build race: adopt the first value (deterministic)
+                self._entries.move_to_end(key)
+                entry.hits += 1
+                self.stats.hits += 1
+                return entry.value, True
+            self._entries[key] = CacheEntry(
+                key=key,
+                value=value,
+                nbytes=nbytes,
+                graph_key=graph_key,
+                version=int(version),
+                kind=kind,
+                build_seconds=build_seconds,
+            )
+            self._total_bytes += nbytes
+            self.stats.misses += 1
+            self.stats.build_seconds += build_seconds
+            self._evict_locked()
+        return value, False
+
+    def invalidate_graph(self, graph_key: str, keep_version: Optional[int] = None) -> int:
+        """Drop artifacts of ``graph_key`` (all versions, or all but one).
+
+        Called when the registry detects that a registered graph was mutated:
+        everything built against earlier versions is unservable and would
+        otherwise linger until LRU eviction gets to it.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if entry.graph_key == graph_key
+                and (keep_version is None or entry.version != keep_version)
+            ]
+            for key in doomed:
+                self._remove_locked(key)
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def contains(
+        self, graph_key: str, version: int, kind: str, params: Tuple[Hashable, ...] = ()
+    ) -> bool:
+        with self._lock:
+            return self.make_key(graph_key, version, kind, params) in self._entries
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._total_bytes
+
+    def entries(self) -> List[CacheEntry]:
+        """Snapshot of entries in LRU -> MRU order (metadata, live values)."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._total_bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- internals -------------------------------------------------------------
+
+    def _remove_locked(self, key: Tuple[Hashable, ...]) -> None:
+        entry = self._entries.pop(key)
+        self._total_bytes -= entry.nbytes
+
+    def _evict_locked(self) -> None:
+        # never evict the most-recently-inserted entry: a single artifact
+        # larger than the whole budget is kept (and evicted by the next insert)
+        while len(self._entries) > 1 and (
+            self._total_bytes > self.max_bytes
+            or (self.max_entries is not None and len(self._entries) > self.max_entries)
+        ):
+            oldest = next(iter(self._entries))
+            self._remove_locked(oldest)
+            self.stats.evictions += 1

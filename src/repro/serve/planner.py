@@ -1,0 +1,395 @@
+"""Query planner: coalesce heterogeneous requests into blocked kernel calls.
+
+The solver stack earns its throughput from batching -- one blocked Chebyshev
+iteration over an ``(n, k)`` right-hand-side block
+(:meth:`BCCLaplacianSolver.solve_many`), one grounded factorisation answering
+many resistance pairs (:meth:`GroundedLaplacianSolver.pair_resistances`) --
+but clients submit queries one at a time.  The planner closes that gap: it
+groups a drained submission queue by ``(graph, kind, coalescing params)``
+while preserving per-group submission order, then executes each group with a
+single blocked call against artifacts from the
+:class:`~repro.serve.artifacts.ArtifactCache`.
+
+Three query kinds exist (the service constructs them via
+:func:`solve_query` / :func:`resistance_query` / :func:`certify_query`):
+
+``solve``
+    ``L_G x = b`` to relative error ``eps``; same-graph same-``eps`` queries
+    share one block solve through :func:`repro.core.api.solve_many`.
+``resistance``
+    effective resistance between an arbitrary vertex pair; same-graph queries
+    share one batched ``pair_resistances`` kernel call over the cached
+    resistance oracle (medium graphs) or grounded factorisation (large ones).
+``certify``
+    is the cached ``(1 +/- eps)``-sparsifier of this graph valid?  Same-graph
+    same-``eps`` queries collapse to a single certification.
+
+Staleness: before executing a batch the planner checks the registry entry's
+version.  A drifted graph triggers ``registry.revalidate`` plus
+``cache.invalidate_graph`` for the outdated versions, so the batch rebuilds
+against current content -- the stale artifact is refused, never served.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import api
+from repro.linalg.sparse_backend import (
+    RESISTANCE_ORACLE_LIMIT,
+    GroundedLaplacianSolver,
+    ResistanceOracle,
+    resolve_backend,
+)
+from repro.serve.artifacts import ArtifactCache
+from repro.serve.registry import GraphRegistry, RegisteredGraph
+from repro.solvers.laplacian import BCCLaplacianSolver
+
+QUERY_KINDS = ("solve", "resistance", "certify")
+
+_query_ids = itertools.count()
+
+
+@dataclass
+class Query:
+    """One client request against a registered graph."""
+
+    kind: str
+    graph_key: str
+    payload: Dict[str, Any]
+    query_id: int = field(default_factory=_query_ids.__next__)
+
+    def __post_init__(self):
+        if self.kind not in QUERY_KINDS:
+            raise ValueError(f"unknown query kind {self.kind!r}; use one of {QUERY_KINDS}")
+
+
+def solve_query(graph_key: str, b: np.ndarray, eps: float = 1e-6) -> Query:
+    """``L_G x = b`` to relative error ``eps`` in the ``L_G``-norm."""
+    return Query("solve", graph_key, {"b": np.asarray(b, dtype=float), "eps": float(eps)})
+
+
+def resistance_query(graph_key: str, u: int, v: int) -> Query:
+    """Effective resistance between vertices ``u`` and ``v``."""
+    return Query("resistance", graph_key, {"u": int(u), "v": int(v)})
+
+
+def resistance_batch_query(graph_key: str, pairs: Sequence[Tuple[int, int]]) -> Query:
+    """Effective resistances of many pairs as ONE queue entry.
+
+    A bulk request pays the per-query protocol cost (queue entry, ticket,
+    result routing) once for the whole batch instead of once per pair, which
+    is where most of the batch=64 throughput win comes from once the kernel
+    itself is an O(1)-per-pair oracle lookup.  Its result value is an array
+    aligned with ``pairs``.  In the planner it coalesces freely with scalar
+    resistance queries on the same graph.
+    """
+    pair_array = np.asarray(list(pairs), dtype=np.int64)
+    if pair_array.ndim != 2 or pair_array.shape[1] != 2:
+        raise ValueError(f"pairs must be (u, v) tuples, got shape {pair_array.shape}")
+    return Query(
+        "resistance", graph_key, {"u": pair_array[:, 0], "v": pair_array[:, 1]}
+    )
+
+
+def certify_query(graph_key: str, eps: float = 0.5) -> Query:
+    """Certify the cached ``(1 +/- eps)``-sparsifier against the graph."""
+    return Query("certify", graph_key, {"eps": float(eps)})
+
+
+@dataclass
+class QueryBatch:
+    """Queries that execute as one blocked kernel call."""
+
+    graph_key: str
+    kind: str
+    coalesce_params: Tuple[Hashable, ...]
+    queries: List[Query]
+
+    @property
+    def size(self) -> int:
+        return len(self.queries)
+
+
+@dataclass
+class QueryResult:
+    """Per-query outcome, annotated with serving metadata."""
+
+    query: Query
+    value: Any
+    cache_hit: bool
+    batch_size: int
+    seconds: float  # per-query share of the batch wall-clock
+
+
+@dataclass
+class CertificationReport:
+    """Outcome of a certify query."""
+
+    ok: bool
+    lo: float
+    hi: float
+    eps: float
+    sparsifier_edges: int
+    graph_edges: int
+
+
+class QueryPlanner:
+    """Plans and executes drained query batches against registry + cache."""
+
+    def __init__(
+        self,
+        registry: GraphRegistry,
+        cache: ArtifactCache,
+        solver_seed: Optional[int] = 0,
+        t_override: Optional[int] = None,
+        bundle_scale: float = 1.0,
+        backend: str = "auto",
+        oracle_limit: int = RESISTANCE_ORACLE_LIMIT,
+    ):
+        self.registry = registry
+        self.cache = cache
+        self.solver_seed = solver_seed
+        self.t_override = t_override
+        self.bundle_scale = bundle_scale
+        self.backend = backend
+        #: graphs up to this many vertices answer resistance queries from a
+        #: precomputed dense oracle (O(1) per query) instead of per-batch
+        #: triangular solves; n^2 doubles of cache weight, LRU-evictable
+        self.oracle_limit = oracle_limit
+
+    # -- planning --------------------------------------------------------------
+
+    def plan(self, queries: Sequence[Query]) -> List[QueryBatch]:
+        """Group queries into coalesced batches, preserving arrival order.
+
+        Batches are emitted in order of each group's first query, and queries
+        keep their submission order inside a batch, so a client that submits
+        twice to the same graph gets its answers in submission order.
+        """
+        batches: "Dict[Tuple[Hashable, ...], QueryBatch]" = {}
+        for query in queries:
+            params = self._coalesce_params(query)
+            group = (query.graph_key, query.kind, params)
+            batch = batches.get(group)
+            if batch is None:
+                batches[group] = QueryBatch(
+                    graph_key=query.graph_key,
+                    kind=query.kind,
+                    coalesce_params=params,
+                    queries=[query],
+                )
+            else:
+                batch.queries.append(query)
+        return list(batches.values())
+
+    @staticmethod
+    def _coalesce_params(query: Query) -> Tuple[Hashable, ...]:
+        if query.kind == "solve":
+            return (query.payload["eps"],)
+        if query.kind == "certify":
+            return (query.payload["eps"],)
+        return ()
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, batches: Sequence[QueryBatch]) -> List[QueryResult]:
+        """Execute every batch; results in query-submission order per batch."""
+        results: List[QueryResult] = []
+        for batch in batches:
+            results.extend(self.execute_batch(batch))
+        return results
+
+    def execute_batch(self, batch: QueryBatch) -> List[QueryResult]:
+        entry = self._current_entry(batch.graph_key)
+        start = time.perf_counter()
+        if batch.kind == "solve":
+            values, cache_hit = self._execute_solve(entry, batch)
+        elif batch.kind == "resistance":
+            values, cache_hit = self._execute_resistance(entry, batch)
+        else:
+            values, cache_hit = self._execute_certify(entry, batch)
+        per_query_seconds = (time.perf_counter() - start) / max(1, batch.size)
+        return [
+            QueryResult(
+                query=query,
+                value=value,
+                cache_hit=cache_hit,
+                batch_size=batch.size,
+                seconds=per_query_seconds,
+            )
+            for query, value in zip(batch.queries, values)
+        ]
+
+    def _current_entry(self, graph_key: str) -> RegisteredGraph:
+        """Registry entry with staleness resolved (refuse + rebuild, not serve).
+
+        Artifacts are keyed by the entry's *content fingerprint* (plus
+        version), never by the registry handle: handles can be unregistered
+        and re-used for different graphs, and two services may share one
+        cache while naming different graphs alike -- the fingerprint is the
+        identity that cannot alias.
+        """
+        entry = self.registry.get(graph_key)
+        if not entry.is_current():
+            stale_fingerprint = entry.fingerprint
+            self.registry.revalidate(graph_key)
+            entry = self.registry.get(graph_key)
+            self.cache.invalidate_graph(
+                stale_fingerprint, keep_version=entry.version
+            )
+        return entry
+
+    def _solver_params(self) -> Tuple[Hashable, ...]:
+        return (self.solver_seed, self.t_override, self.bundle_scale, self.backend)
+
+    def _execute_solve(
+        self, entry: RegisteredGraph, batch: QueryBatch
+    ) -> Tuple[List[Any], bool]:
+        graph = entry.graph
+        preprocessing, cache_hit = self.cache.get_or_build(
+            entry.fingerprint,
+            entry.version,
+            "preprocessing",
+            self._solver_params(),
+            lambda: BCCLaplacianSolver.prepare(
+                graph,
+                seed=self.solver_seed,
+                t_override=self.t_override,
+                bundle_scale=self.bundle_scale,
+                backend=self.backend,
+            ),
+        )
+        # the solver front object is rebuilt per batch (cheap: one CSR
+        # assembly); caching it would both double-account the preprocessing
+        # bytes it references and share one communication ledger across
+        # unrelated clients
+        solver = BCCLaplacianSolver(graph, preprocessing=preprocessing)
+        eps = batch.coalesce_params[0]
+        reports = api.solve_many(
+            graph, [q.payload["b"] for q in batch.queries], eps=eps, solver=solver
+        )
+        return list(reports), cache_hit
+
+    def _execute_resistance(
+        self, entry: RegisteredGraph, batch: QueryBatch
+    ) -> Tuple[List[Any], bool]:
+        graph = entry.graph
+
+        def build_grounded() -> GroundedLaplacianSolver:
+            grounded, _ = self.cache.get_or_build(
+                entry.fingerprint,
+                entry.version,
+                "grounded",
+                (),
+                lambda: GroundedLaplacianSolver(graph),
+            )
+            return grounded
+
+        if graph.n <= self.oracle_limit:
+            # Medium graphs: precompute the dense grounded-inverse oracle
+            # once (n batched triangular solves, n^2 doubles) and answer
+            # every later pair query with a three-element lookup.  The
+            # grounded factorisation is only materialised on an oracle miss
+            # -- a cached oracle must not trigger a useless splu rebuild.
+            solver, cache_hit = self.cache.get_or_build(
+                entry.fingerprint,
+                entry.version,
+                "resistance_oracle",
+                (),
+                lambda: ResistanceOracle(graph, grounded=build_grounded()),
+            )
+        else:
+            solver, cache_hit = self.cache.get_or_build(
+                entry.fingerprint,
+                entry.version,
+                "grounded",
+                (),
+                lambda: GroundedLaplacianSolver(graph),
+            )
+        # flatten scalar and bulk queries into aligned index arrays, answer
+        # with a single kernel call, then split the outputs back per query
+        us: List[np.ndarray] = []
+        vs: List[np.ndarray] = []
+        for query in batch.queries:
+            us.append(np.atleast_1d(np.asarray(query.payload["u"], dtype=np.int64)))
+            vs.append(np.atleast_1d(np.asarray(query.payload["v"], dtype=np.int64)))
+        counts = [a.size for a in us]
+        resistances = solver.pair_resistances(np.concatenate(us), np.concatenate(vs))
+        values: List[Any] = []
+        offset = 0
+        for query, count in zip(batch.queries, counts):
+            chunk = resistances[offset : offset + count]
+            offset += count
+            values.append(chunk.copy() if np.ndim(query.payload["u"]) else float(chunk[0]))
+        return values, cache_hit
+
+    def _execute_certify(
+        self, entry: RegisteredGraph, batch: QueryBatch
+    ) -> Tuple[List[Any], bool]:
+        from repro.graphs.laplacian import spectral_approximation_factor
+
+        graph = entry.graph
+        eps = batch.coalesce_params[0]
+        backend = resolve_backend(graph, self.backend)
+        params = (eps, self.solver_seed, self.t_override, self.bundle_scale, backend)
+
+        def build_sparsifier_result():
+            # the solve path's preprocessing artifact embeds a sparsifier
+            # built with SPARSIFIER_EPS and the same knobs: when the certify
+            # eps matches, reuse it instead of re-paying the multi-second
+            # sparsification and storing the same content twice
+            if eps == BCCLaplacianSolver.SPARSIFIER_EPS:
+                solver_params = self._solver_params()
+                if self.cache.contains(
+                    entry.fingerprint, entry.version, "preprocessing", solver_params
+                ):
+                    preprocessing, _ = self.cache.get_or_build(
+                        entry.fingerprint,
+                        entry.version,
+                        "preprocessing",
+                        solver_params,
+                        lambda: None,  # never runs: the entry is present
+                    )
+                    if preprocessing.sparsifier_result is not None:
+                        return preprocessing.sparsifier_result
+            return api.spectral_sparsifier(
+                graph,
+                eps=eps,
+                seed=self.solver_seed,
+                t_override=self.t_override,
+                bundle_scale=self.bundle_scale,
+                backend=backend,
+            )
+
+        def build_report() -> CertificationReport:
+            # no separate 'sparsifier' cache entry: the report below is
+            # memoised, so the sparsifier is only ever needed right here,
+            # and an extra cache reference would double-count its bytes
+            sparsifier_result = build_sparsifier_result()
+            lo, hi = spectral_approximation_factor(
+                graph, sparsifier_result.sparsifier, backend=backend
+            )
+            slack = 1e-7
+            return CertificationReport(
+                ok=bool(lo >= 1.0 - eps - slack and hi <= 1.0 + eps + slack),
+                lo=float(lo),
+                hi=float(hi),
+                eps=eps,
+                sparsifier_edges=sparsifier_result.size,
+                graph_edges=graph.m,
+            )
+
+        # the eigensolver certification is deterministic per (content
+        # version, params): memoise the whole report, so a warm certify is
+        # a cache lookup instead of a repeated eigsh run
+        report, cache_hit = self.cache.get_or_build(
+            entry.fingerprint, entry.version, "certification", params, build_report
+        )
+        # one certification answers every query in the batch
+        return [report] * batch.size, cache_hit

@@ -1,0 +1,374 @@
+"""`LaplacianService`: the synchronous front door of the serving layer.
+
+Register a graph once, then query it many times -- the service holds the
+:class:`~repro.serve.registry.GraphRegistry`, the
+:class:`~repro.serve.artifacts.ArtifactCache` and the
+:class:`~repro.serve.planner.QueryPlanner` together behind a thread-safe
+submission queue:
+
+* ``submit(query)`` enqueues and returns a :class:`QueryTicket` immediately;
+  the queue flushes when ``FlushPolicy.max_batch`` queries are pending or
+  ``FlushPolicy.max_wait_seconds`` after the oldest pending arrival (a
+  background flusher thread enforces the deadline), coalescing whatever is
+  pending into blocked kernel calls.
+* the synchronous conveniences (``solve``, ``solve_many``,
+  ``effective_resistance``, ``effective_resistances``, ``certify``) submit and
+  flush in one call -- single-client code pays no latency for the queue while
+  still sharing artifacts (and batches, when several threads are in flight)
+  with everyone else.
+
+Metrics: :meth:`LaplacianService.metrics` reports cache hit rate, batch
+occupancy (mean coalesced batch size), per-query latency percentiles, and the
+raw cache counters -- the numbers a capacity dashboard would scrape.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+from repro.serve.artifacts import ArtifactCache
+from repro.serve.planner import (
+    CertificationReport,
+    Query,
+    QueryPlanner,
+    QueryResult,
+    certify_query,
+    resistance_batch_query,
+    resistance_query,
+    solve_query,
+)
+from repro.serve.registry import GraphRegistry
+from repro.solvers.laplacian import LaplacianSolveReport
+
+
+@dataclass(frozen=True)
+class FlushPolicy:
+    """When the submission queue drains into the planner.
+
+    ``max_batch`` bounds occupancy (a flush fires as soon as that many
+    queries are pending); ``max_wait_seconds`` bounds latency (the background
+    flusher drains the queue that long after the oldest pending arrival, even
+    if the batch is not full).
+    """
+
+    max_batch: int = 64
+    max_wait_seconds: float = 0.01
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_seconds < 0:
+            raise ValueError(
+                f"max_wait_seconds must be >= 0, got {self.max_wait_seconds}"
+            )
+
+
+class QueryTicket:
+    """Handle for one submitted query; blocks on :meth:`result`."""
+
+    def __init__(self, query: Query):
+        self.query = query
+        self._event = threading.Event()
+        self._result: Optional[QueryResult] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> QueryResult:
+        """The :class:`QueryResult`, waiting for the flush if necessary."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"query {self.query.query_id} not finished within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _resolve(self, result: QueryResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class ServiceMetrics:
+    """Aggregated serving metrics (thread-safe)."""
+
+    #: retain at most this many recent latency samples for the percentiles
+    LATENCY_WINDOW = 8192
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.queries_total = 0
+        self.batches_total = 0
+        self.coalesced_queries = 0
+        self.queries_by_kind: Dict[str, int] = {}
+        self._latencies: List[float] = []
+
+    def observe(self, results: Sequence[QueryResult], batches: int) -> None:
+        with self._lock:
+            self.queries_total += len(results)
+            self.batches_total += batches
+            self.coalesced_queries += sum(1 for r in results if r.batch_size > 1)
+            for result in results:
+                kind = result.query.kind
+                self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + 1
+                self._latencies.append(result.seconds)
+            if len(self._latencies) > self.LATENCY_WINDOW:
+                del self._latencies[: len(self._latencies) - self.LATENCY_WINDOW]
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        with self._lock:
+            samples = list(self._latencies)
+        if not samples:
+            return {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+        p50, p90, p99 = np.percentile(samples, [50, 90, 99])
+        return {"p50": float(p50), "p90": float(p90), "p99": float(p99)}
+
+    @property
+    def batch_occupancy(self) -> float:
+        """Mean queries per executed flush batch (1.0 = no coalescing)."""
+        with self._lock:
+            if self.batches_total == 0:
+                return 0.0
+            return self.queries_total / self.batches_total
+
+
+class LaplacianService:
+    """Batched Laplacian query service over registered graphs.
+
+    Parameters mirror :class:`BCCLaplacianSolver` preprocessing knobs
+    (``solver_seed``, ``t_override``, ``bundle_scale``, ``backend``); they are
+    part of every artifact's cache identity, so two services sharing one
+    cache but configured differently never alias artifacts.
+
+    ``auto_flush=False`` disables the background deadline flusher (useful in
+    tests and single-threaded scripts where every public method flushes
+    synchronously anyway).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[GraphRegistry] = None,
+        cache: Optional[ArtifactCache] = None,
+        flush_policy: Optional[FlushPolicy] = None,
+        solver_seed: Optional[int] = 0,
+        t_override: Optional[int] = None,
+        bundle_scale: float = 1.0,
+        backend: str = "auto",
+        auto_flush: bool = True,
+    ):
+        self.registry = registry if registry is not None else GraphRegistry()
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.flush_policy = flush_policy if flush_policy is not None else FlushPolicy()
+        self.planner = QueryPlanner(
+            self.registry,
+            self.cache,
+            solver_seed=solver_seed,
+            t_override=t_override,
+            bundle_scale=bundle_scale,
+            backend=backend,
+        )
+        self.metrics = ServiceMetrics()
+        self._pending: List[Tuple[Query, QueryTicket]] = []
+        self._oldest_pending: Optional[float] = None
+        self._lock = threading.RLock()
+        self._execute_lock = threading.Lock()
+        self._auto_flush = auto_flush
+        self._flusher: Optional[threading.Thread] = None
+        self._wakeup = threading.Event()
+        self._closed = False
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, graph: WeightedGraph, name: Optional[str] = None) -> str:
+        """Register ``graph`` and return its stable query handle."""
+        return self.registry.register(graph, name=name)
+
+    # -- asynchronous submission -----------------------------------------------
+
+    def submit(self, query: Query) -> QueryTicket:
+        """Enqueue ``query``; returns immediately with a ticket.
+
+        Malformed queries (unknown graph, wrong right-hand-side shape,
+        out-of-range vertices) are rejected here, before they can coalesce
+        with -- and fail -- other clients' queries in a shared batch.
+
+        Triggers an inline flush when the pending count reaches
+        ``flush_policy.max_batch``; otherwise the background flusher (or the
+        next synchronous call) picks the query up within
+        ``flush_policy.max_wait_seconds``.
+        """
+        self._validate(query)
+        ticket = QueryTicket(query)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            self._pending.append((query, ticket))
+            if self._oldest_pending is None:
+                self._oldest_pending = time.monotonic()
+            pending = len(self._pending)
+            if self._auto_flush and self._flusher is None:
+                self._start_flusher_locked()
+        if pending >= self.flush_policy.max_batch:
+            self.flush()
+        elif self._auto_flush:
+            self._wakeup.set()
+        return ticket
+
+    def flush(self) -> int:
+        """Drain the queue through the planner; return #queries flushed."""
+        with self._lock:
+            drained = self._pending
+            self._pending = []
+            self._oldest_pending = None
+        if not drained:
+            return 0
+        tickets = {query.query_id: ticket for query, ticket in drained}
+        queries = [query for query, _ in drained]
+        try:
+            with self._execute_lock:
+                batches = self.planner.plan(queries)
+                results: List[QueryResult] = []
+                for batch in batches:
+                    try:
+                        results.extend(self.planner.execute_batch(batch))
+                    except Exception as error:  # propagate to the waiting clients
+                        for query in batch.queries:
+                            tickets[query.query_id]._fail(error)
+        except BaseException as error:
+            # KeyboardInterrupt/SystemExit: unblock every waiter, then let
+            # the interrupt propagate instead of executing remaining batches
+            for _, ticket in drained:
+                if not ticket.done():
+                    ticket._fail(error)
+            raise
+        for result in results:
+            tickets[result.query.query_id]._resolve(result)
+        self.metrics.observe(results, batches=len(batches))
+        return len(queries)
+
+    # -- synchronous front door ------------------------------------------------
+
+    def solve(self, graph_key: str, b: np.ndarray, eps: float = 1e-6) -> LaplacianSolveReport:
+        """Solve ``L_G x = b`` on the registered graph (coalesced if possible)."""
+        return self._submit_and_wait(solve_query(graph_key, b, eps=eps)).value
+
+    def solve_many(
+        self, graph_key: str, rhs: Sequence[np.ndarray], eps: float = 1e-6
+    ) -> List[LaplacianSolveReport]:
+        """Solve many right-hand sides as one blocked batch."""
+        tickets = [self.submit(solve_query(graph_key, b, eps=eps)) for b in rhs]
+        self.flush()
+        return [t.result().value for t in tickets]
+
+    def effective_resistance(self, graph_key: str, u: int, v: int) -> float:
+        """Effective resistance between two vertices of a registered graph."""
+        return self._submit_and_wait(resistance_query(graph_key, u, v)).value
+
+    def effective_resistances(
+        self, graph_key: str, pairs: Iterable[Tuple[int, int]]
+    ) -> np.ndarray:
+        """Batched effective resistances: one queue entry, one kernel call."""
+        pair_list = list(pairs)
+        if not pair_list:
+            return np.zeros(0)
+        return np.asarray(
+            self._submit_and_wait(resistance_batch_query(graph_key, pair_list)).value
+        )
+
+    def certify(self, graph_key: str, eps: float = 0.5) -> CertificationReport:
+        """Certify the cached sparsifier of the graph (Definition 2.1)."""
+        return self._submit_and_wait(certify_query(graph_key, eps=eps)).value
+
+    def _submit_and_wait(self, query: Query) -> QueryResult:
+        ticket = self.submit(query)
+        self.flush()
+        # the flush may have raced another thread's; wait for whichever ran it
+        return ticket.result(timeout=None)
+
+    def _validate(self, query: Query) -> None:
+        """Reject malformed queries before they can poison a shared batch."""
+        entry = self.registry.get(query.graph_key)  # KeyError for unknown keys
+        n = entry.graph.n
+        if query.kind == "solve":
+            b = query.payload["b"]
+            if b.shape != (n,):
+                raise ValueError(
+                    f"right-hand side must have shape ({n},), got {b.shape}"
+                )
+        elif query.kind == "resistance":
+            u = np.asarray(query.payload["u"])
+            v = np.asarray(query.payload["v"])
+            if u.size and (
+                int(min(u.min(), v.min())) < 0 or int(max(u.max(), v.max())) >= n
+            ):
+                raise ValueError(f"pair endpoints out of range [0, {n})")
+
+    # -- metrics / lifecycle ---------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One dict with everything a dashboard would scrape."""
+        cache_stats = self.cache.stats
+        return {
+            "queries_total": self.metrics.queries_total,
+            "batches_total": self.metrics.batches_total,
+            "batch_occupancy": self.metrics.batch_occupancy,
+            "queries_by_kind": dict(self.metrics.queries_by_kind),
+            "latency_seconds": self.metrics.latency_percentiles(),
+            "cache": cache_stats.as_dict(),
+            "cache_entries": len(self.cache),
+            "cache_bytes": self.cache.total_bytes,
+            "registered_graphs": len(self.registry),
+        }
+
+    def close(self) -> None:
+        """Flush outstanding queries and stop the background flusher."""
+        with self._lock:
+            self._closed = True
+        self._wakeup.set()
+        self.flush()
+        flusher = self._flusher
+        if flusher is not None:
+            flusher.join(timeout=1.0)
+
+    def __enter__(self) -> "LaplacianService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- background flusher ----------------------------------------------------
+
+    def _start_flusher_locked(self) -> None:
+        self._flusher = threading.Thread(
+            target=self._flusher_loop, name="laplacian-service-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    def _flusher_loop(self) -> None:
+        max_wait = self.flush_policy.max_wait_seconds
+        while True:
+            self._wakeup.wait(timeout=max_wait if max_wait > 0 else None)
+            with self._lock:
+                if self._closed:
+                    return
+                self._wakeup.clear()
+                oldest = self._oldest_pending
+            if oldest is None:
+                continue
+            deadline = oldest + max_wait
+            now = time.monotonic()
+            if now < deadline:
+                time.sleep(deadline - now)
+            self.flush()

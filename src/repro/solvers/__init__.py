@@ -14,7 +14,11 @@
 """
 
 from repro.solvers.chebyshev import ChebyshevReport, preconditioned_chebyshev
-from repro.solvers.laplacian import BCCLaplacianSolver, LaplacianSolveReport
+from repro.solvers.laplacian import (
+    BCCLaplacianSolver,
+    LaplacianSolveReport,
+    SolverPreprocessing,
+)
 from repro.solvers.sdd import GrembanReduction, SDDSolver, gremban_expand, is_sdd_matrix
 
 __all__ = [
@@ -22,6 +26,7 @@ __all__ = [
     "ChebyshevReport",
     "BCCLaplacianSolver",
     "LaplacianSolveReport",
+    "SolverPreprocessing",
     "GrembanReduction",
     "SDDSolver",
     "gremban_expand",

@@ -62,3 +62,67 @@ class TestPipeline:
             "laplacian_solver",
             "lp_and_flow",
         }
+
+
+class TestBatchedFacades:
+    def test_solve_many_matches_single_solves(self):
+        graph = generators.random_weighted_graph(30, average_degree=5, seed=3)
+        rng = np.random.default_rng(0)
+        rhs = [rng.normal(size=graph.n) for _ in range(3)]
+        reports = core.solve_many(graph, rhs, eps=1e-8, seed=1, t_override=2)
+        reference = BCCLaplacianSolver(graph, seed=1, t_override=2)
+        assert len(reports) == 3
+        for report, b in zip(reports, rhs):
+            np.testing.assert_allclose(
+                report.solution, reference.exact_solution(b), atol=1e-6
+            )
+
+    def test_solve_many_reuses_supplied_solver(self):
+        graph = generators.random_weighted_graph(30, average_degree=5, seed=3)
+        solver = BCCLaplacianSolver(graph, seed=1, t_override=2)
+        rng = np.random.default_rng(1)
+        reports = core.solve_many(
+            graph, [rng.normal(size=graph.n)], eps=1e-6, solver=solver
+        )
+        assert len(reports) == 1
+
+    def test_effective_resistances_all_edges_default(self):
+        graph = generators.grid_graph(5, 5)
+        from repro.graphs import effective_resistances as graph_er
+
+        np.testing.assert_allclose(
+            core.effective_resistances(graph), graph_er(graph), rtol=1e-9
+        )
+
+    def test_effective_resistances_pairs_dense_vs_sparse(self):
+        graph = generators.random_weighted_graph(40, average_degree=6, seed=5)
+        rng = np.random.default_rng(2)
+        pairs = [(int(u), int(v)) for u, v in rng.integers(0, graph.n, (25, 2))]
+        dense = core.effective_resistances(graph, pairs=pairs, backend="dense")
+        sparse = core.effective_resistances(graph, pairs=pairs, backend="sparse")
+        np.testing.assert_allclose(dense, sparse, rtol=1e-8, atol=1e-10)
+
+    def test_effective_resistances_pair_semantics(self):
+        # two components: a triangle and an edge
+        from repro.graphs.graph import WeightedGraph
+
+        graph = WeightedGraph(5)
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 2, 1.0)
+        graph.add_edge(0, 2, 1.0)
+        graph.add_edge(3, 4, 2.0)
+        for backend in ("dense", "sparse"):
+            values = core.effective_resistances(
+                graph, pairs=[(0, 0), (0, 3), (3, 4)], backend=backend
+            )
+            assert values[0] == 0.0
+            assert np.isinf(values[1])
+            np.testing.assert_allclose(values[2], 0.5)
+
+    def test_effective_resistances_validates_pairs(self):
+        graph = generators.grid_graph(3, 3)
+        with pytest.raises(ValueError):
+            core.effective_resistances(graph, pairs=[(0, 99)], backend="dense")
+        with pytest.raises(ValueError):
+            core.effective_resistances(graph, pairs=[(0, 99)], backend="sparse")
+        assert core.effective_resistances(graph, pairs=[]).shape == (0,)

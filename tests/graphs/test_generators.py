@@ -127,3 +127,67 @@ class TestFlowGenerators:
 
         net = generators.layered_flow_network(4, 3, seed=9)
         assert nx.is_directed_acyclic_graph(net.to_networkx())
+
+
+class TestScaleFreeAndSmallWorld:
+    def test_barabasi_albert_size_and_connectivity(self):
+        g = generators.barabasi_albert(200, attach=3, seed=1)
+        assert g.n == 200
+        # clique on 4 vertices + 3 edges per later vertex
+        assert g.m == 6 + 3 * (200 - 4)
+        assert g.is_connected()
+        assert min(g.degree(v) for v in g.vertices()) >= 3
+
+    def test_barabasi_albert_reproducible(self):
+        a = generators.barabasi_albert(60, attach=2, seed=5)
+        b = generators.barabasi_albert(60, attach=2, seed=5)
+        assert a == b
+        c = generators.barabasi_albert(60, attach=2, seed=6)
+        assert a != c
+
+    def test_barabasi_albert_heavy_tail(self):
+        g = generators.barabasi_albert(400, attach=2, seed=7)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        # preferential attachment concentrates degree on early hubs
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+    def test_barabasi_albert_small_n_is_clique(self):
+        g = generators.barabasi_albert(4, attach=4, seed=1)
+        assert g.m == 6  # n <= attach + 1: complete graph
+
+    def test_barabasi_albert_rejects_bad_attach(self):
+        with pytest.raises(ValueError):
+            generators.barabasi_albert(10, attach=0)
+
+    def test_watts_strogatz_size_and_connectivity(self):
+        g = generators.watts_strogatz(100, k=4, beta=0.2, seed=3)
+        assert g.n == 100
+        # rewiring preserves the edge count; ensure_connected may add a few
+        assert g.m >= 100 * 4 // 2
+        assert g.is_connected()
+
+    def test_watts_strogatz_beta_zero_is_lattice(self):
+        g = generators.watts_strogatz(20, k=4, beta=0.0, seed=4)
+        assert g.m == 40
+        for v in range(20):
+            assert g.degree(v) == 4
+            for j in (1, 2):
+                assert g.has_edge(v, (v + j) % 20)
+
+    def test_watts_strogatz_rewires_for_positive_beta(self):
+        lattice = generators.watts_strogatz(60, k=6, beta=0.0, seed=8)
+        rewired = generators.watts_strogatz(60, k=6, beta=0.5, seed=8)
+        assert rewired != lattice
+
+    def test_watts_strogatz_reproducible(self):
+        a = generators.watts_strogatz(50, k=4, beta=0.3, seed=9)
+        b = generators.watts_strogatz(50, k=4, beta=0.3, seed=9)
+        assert a == b
+
+    def test_watts_strogatz_validation(self):
+        with pytest.raises(ValueError):
+            generators.watts_strogatz(10, k=3)  # odd k
+        with pytest.raises(ValueError):
+            generators.watts_strogatz(4, k=4)  # k >= n
+        with pytest.raises(ValueError):
+            generators.watts_strogatz(10, k=4, beta=1.5)

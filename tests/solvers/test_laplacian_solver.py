@@ -140,3 +140,100 @@ class TestSparseBackend:
         L = laplacian_matrix(solver_graph)
         residual = L @ report.solution - (b - b.mean())
         assert np.linalg.norm(residual) <= 1e-6 * max(1.0, np.linalg.norm(b))
+
+
+class TestReusablePreprocessing:
+    def test_prepare_then_construct_matches_from_scratch(self, solver_graph):
+        rng = np.random.default_rng(23)
+        b = rng.normal(size=solver_graph.n)
+        scratch = BCCLaplacianSolver(solver_graph, seed=1, t_override=2)
+        prepared = BCCLaplacianSolver.prepare(solver_graph, seed=1, t_override=2)
+        reused = BCCLaplacianSolver(solver_graph, preprocessing=prepared)
+        np.testing.assert_allclose(
+            reused.solve(b, eps=1e-8).solution,
+            scratch.solve(b, eps=1e-8).solution,
+            atol=1e-10,
+        )
+        assert reused.preprocessing.kappa == scratch.preprocessing.kappa
+        assert reused.preprocessing.sparsifier == scratch.preprocessing.sparsifier
+
+    def test_reused_preprocessing_charges_no_rounds(self, solver_graph):
+        prepared = BCCLaplacianSolver.prepare(solver_graph, seed=1, t_override=2)
+        scratch = BCCLaplacianSolver(solver_graph, seed=1, t_override=2)
+        reused = BCCLaplacianSolver(solver_graph, preprocessing=prepared)
+        assert scratch.ledger.total_rounds > 0
+        assert reused.ledger.total_rounds == 0
+        # the report still documents what preprocessing originally cost
+        assert reused.preprocessing.rounds == scratch.preprocessing.rounds > 0
+
+    def test_preprocessing_shared_across_constructions(self, solver_graph):
+        prepared = BCCLaplacianSolver.prepare(
+            solver_graph, seed=1, t_override=2, backend="sparse"
+        )
+        a = BCCLaplacianSolver(solver_graph, preprocessing=prepared)
+        c = BCCLaplacianSolver(solver_graph, preprocessing=prepared)
+        assert a.backend == c.backend == "sparse"
+        assert a.prepared is c.prepared is prepared
+        assert prepared.grounded is not None  # one factorisation, shared
+
+    def test_wrong_size_preprocessing_rejected(self, solver_graph):
+        prepared = BCCLaplacianSolver.prepare(solver_graph, seed=1, t_override=2)
+        other = generators.random_weighted_graph(solver_graph.n + 3, seed=4)
+        with pytest.raises(ValueError):
+            BCCLaplacianSolver(other, preprocessing=prepared)
+
+    def test_prepare_requires_connected_graph(self):
+        from repro.graphs.graph import WeightedGraph
+
+        g = WeightedGraph(4)
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            BCCLaplacianSolver.prepare(g)
+
+    def test_nbytes_accounting(self, solver_graph):
+        for backend in ("dense", "sparse"):
+            prepared = BCCLaplacianSolver.prepare(
+                solver_graph, seed=1, t_override=2, backend=backend
+            )
+            solver = BCCLaplacianSolver(solver_graph, preprocessing=prepared)
+            assert solver.nbytes() >= prepared.nbytes() > 0
+
+
+class TestBackendThreading:
+    def test_sparsifier_result_records_solver_backend(self, solver_graph):
+        sparse = BCCLaplacianSolver(solver_graph, seed=1, t_override=2, backend="sparse")
+        dense = BCCLaplacianSolver(solver_graph, seed=1, t_override=2, backend="dense")
+        assert sparse._sparsifier_result.backend == "sparse"
+        assert dense._sparsifier_result.backend == "dense"
+
+    def test_certify_defaults_to_producer_backend(self, solver_graph):
+        from repro.sparsify import spectral_sparsify
+
+        forced = spectral_sparsify(
+            solver_graph, eps=0.5, seed=1, t_override=2, backend="sparse"
+        )
+        default = spectral_sparsify(solver_graph, eps=0.5, seed=1, t_override=2)
+        assert forced.backend == "sparse" and default.backend == "auto"
+        # same rng stream: the backend knob must not perturb the sparsifier
+        assert forced.sparsifier == default.sparsifier
+        assert forced.certify(solver_graph, eps=0.5) == default.certify(
+            solver_graph, eps=0.5
+        )
+
+    def test_conflicting_knobs_with_preprocessing_rejected(self, solver_graph):
+        prepared = BCCLaplacianSolver.prepare(
+            solver_graph, seed=1, t_override=2, backend="sparse"
+        )
+        for kwargs in (
+            {"seed": 1},
+            {"t_override": 2},
+            {"bundle_scale": 2.0},
+            {"exact_preconditioner": True},
+            {"backend": "dense"},
+        ):
+            with pytest.raises(ValueError):
+                BCCLaplacianSolver(solver_graph, preprocessing=prepared, **kwargs)
+        # backend='auto' and the artifact's own backend are both honoured
+        assert BCCLaplacianSolver(
+            solver_graph, preprocessing=prepared, backend="sparse"
+        ).backend == "sparse"
