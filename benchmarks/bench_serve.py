@@ -1,20 +1,31 @@
 """E-serve -- throughput benchmark of the batched Laplacian query service.
 
-Measures the two amortisations the serving layer exists for and appends the
+Measures the three amortisations the serving layer exists for and appends the
 measurements to a ``BENCH_serve.json`` trajectory at the repo root:
 
 * **cold vs warm cache** -- a cold query pays per-query solver construction
   (sparsifier + factorisation); a warm query reuses the cached artifacts.
   The floor asserted at ``n = 2000`` is a 5x speedup.
 * **batch=1 vs batch=64** -- 64 sequential effective-resistance queries vs
-  one coalesced batch through the cached grounded factorisation.  The floor
-  asserted at ``n = 2000`` is 3x.
+  one coalesced batch through the cached oracle.  The floor asserted at
+  ``n = 2000`` is 3x.
+* **sketched vs splu fallback** -- above the dense-oracle gate
+  (``n > RESISTANCE_ORACLE_LIMIT``), ``eta``-bounded resistance batches are
+  served from the JL-sketched oracle instead of per-batch triangular solves.
+  The ``eta`` sweep records, per accuracy bound: sketch dimension ``k``,
+  build time, batched serving time, speedup over the splu fallback, and the
+  *measured* max relative error against the exact path (the accuracy
+  contract, must stay <= eta).  The floor asserted on grid-100x100 is a 5x
+  win for the sketched batch over the splu batch -- well under the measured
+  two-orders-of-magnitude gain, like the other floors.
 
 Workloads cover the scenario spread: random weighted graphs at
-``n in {512, 2000}``, a ``100 x 100`` grid (``n = 10^4``), a Barabasi-Albert
-power-law graph and a Watts-Strogatz small-world graph.  Runs as a plain
-script (what CI executes) or as an explicitly named pytest-benchmark module
-(directory collection only picks up ``test_*.py``):
+``n in {512, 2000}``, a Barabasi-Albert power-law graph, a Watts-Strogatz
+small-world graph (exact-path cases, untouched by the sketch), plus a
+``100 x 100`` grid (``n = 10^4``) and a ``200 x 200`` grid (``n = 4*10^4``,
+resistance serving only -- the point of the sketched oracle) as the large-n
+cases.  Runs as a plain script (what CI executes) or as an explicitly named
+pytest-benchmark module (directory collection only picks up ``test_*.py``):
 
     PYTHONPATH=src python benchmarks/bench_serve.py
     PYTHONPATH=src python -m pytest benchmarks/bench_serve.py --benchmark-only
@@ -29,7 +40,8 @@ import numpy as np
 import pytest
 
 from repro.graphs import generators
-from repro.serve import LaplacianService
+from repro.linalg.jl import resistance_sketch_dimension
+from repro.serve import ArtifactCache, LaplacianService
 from repro.solvers import BCCLaplacianSolver
 
 TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
@@ -43,9 +55,19 @@ WARM_QUERIES = 8
 #: resistance batch size of the coalescing measurement
 RESISTANCE_BATCH = 64
 
+#: accuracy bounds swept on the large-n workloads; the first is the headline
+ETA_SWEEP = (0.5, 0.25)
+
 #: asserted floors at n = 2000 (the ISSUE 3 acceptance criteria)
 WARM_SPEEDUP_FLOOR = 5.0
 BATCH_SPEEDUP_FLOOR = 3.0
+
+#: asserted floor on grid-100x100: sketched batch vs splu-fallback batch
+SKETCH_VS_SPLU_FLOOR = 5.0
+
+#: cache budget for the large-n cases (an eta=0.25 sketch of the 200x200
+#: grid alone weighs ~280 MiB; the default budget would thrash)
+SKETCH_CACHE_BYTES = 1 << 30
 
 
 def _timed(fn):
@@ -55,18 +77,26 @@ def _timed(fn):
 
 
 def make_workloads():
-    """Named seeded workloads; ``heavy`` marks the n = 10^4 grid."""
+    """Named seeded workloads with their measurement mode.
+
+    ``standard`` is the exact serving path (bit-identical to before the
+    sketched oracle existed); ``sketch`` adds the eta sweep on top of the
+    full case; ``sketch-only`` skips the solve phase (at n = 4*10^4 a cold
+    sparsifier build would dominate the benchmark without measuring
+    anything new) and benchmarks resistance serving alone.
+    """
     return [
-        ("random-512", lambda: generators.random_weighted_graph(512, average_degree=8, seed=7), False),
-        ("random-2000", lambda: generators.random_weighted_graph(2000, average_degree=8, seed=7), False),
-        ("barabasi-albert-2000", lambda: generators.barabasi_albert(2000, attach=4, seed=11), False),
-        ("watts-strogatz-2000", lambda: generators.watts_strogatz(2000, k=6, beta=0.1, seed=13), False),
-        ("grid-100x100", lambda: generators.grid_graph(100, 100), True),
+        ("random-512", lambda: generators.random_weighted_graph(512, average_degree=8, seed=7), "standard"),
+        ("random-2000", lambda: generators.random_weighted_graph(2000, average_degree=8, seed=7), "standard"),
+        ("barabasi-albert-2000", lambda: generators.barabasi_albert(2000, attach=4, seed=11), "standard"),
+        ("watts-strogatz-2000", lambda: generators.watts_strogatz(2000, k=6, beta=0.1, seed=13), "standard"),
+        ("grid-100x100", lambda: generators.grid_graph(100, 100), "sketch"),
+        ("grid-200x200", lambda: generators.grid_graph(200, 200), "sketch-only"),
     ]
 
 
-def run_case(name: str, graph, warm_queries: int = WARM_QUERIES) -> dict:
-    """Serve one workload; return cold/warm/batched throughput measurements."""
+def _measure_solves(service, key, graph, warm_queries):
+    """Cold per-query construction vs warm cached solves."""
     rng = np.random.default_rng(42)
     rhs = [rng.normal(size=graph.n) for _ in range(warm_queries)]
 
@@ -77,16 +107,60 @@ def run_case(name: str, graph, warm_queries: int = WARM_QUERIES) -> dict:
         return solver.solve(rhs[0], eps=1e-6)
 
     _, cold_seconds = _timed(cold_query)
-
-    service = LaplacianService(t_override=T_OVERRIDE, auto_flush=False)
-    key = service.register(graph, name=name)
     service.solve(key, rhs[0], eps=1e-6)  # populate the cache
-
-    _, warm_total = _timed(
-        lambda: [service.solve(key, b, eps=1e-6) for b in rhs]
-    )
+    _, warm_total = _timed(lambda: [service.solve(key, b, eps=1e-6) for b in rhs])
     warm_seconds = warm_total / warm_queries
+    return {
+        "cold_solve_seconds": round(cold_seconds, 4),
+        "warm_solve_seconds": round(warm_seconds, 6),
+        "warm_speedup": round(cold_seconds / max(warm_seconds, 1e-12), 2),
+        "warm_queries_per_second": round(1.0 / max(warm_seconds, 1e-12), 1),
+    }
 
+
+def _measure_eta_sweep(service, key, graph, pairs, exact_values, batched_exact_seconds):
+    """Sketched serving at each accuracy bound, with measured error vs exact."""
+    sweep = []
+    positive = np.isfinite(exact_values) & (exact_values > 0)
+    for eta in ETA_SWEEP:
+        _, prime_seconds = _timed(
+            lambda: service.effective_resistances(key, pairs, eta=eta)
+        )  # first bulk call pays the sketch build (k blocked grounded solves)
+        sequential, sequential_seconds = _timed(
+            lambda: [service.effective_resistance(key, u, v, eta=eta) for u, v in pairs]
+        )
+        batched, batched_seconds = _timed(
+            lambda: service.effective_resistances(key, pairs, eta=eta)
+        )
+        np.testing.assert_allclose(batched, sequential, rtol=1e-6, atol=1e-12)
+        relative = np.abs(batched[positive] - exact_values[positive]) / exact_values[positive]
+        sweep.append({
+            "eta": eta,
+            "k": resistance_sketch_dimension(graph.m, eta),
+            "prime_seconds": round(prime_seconds, 4),
+            "sequential_seconds": round(sequential_seconds, 4),
+            "batched_seconds": round(batched_seconds, 6),
+            "batch_speedup": round(sequential_seconds / max(batched_seconds, 1e-12), 2),
+            "sketch_vs_splu_speedup": round(
+                batched_exact_seconds / max(batched_seconds, 1e-12), 2
+            ),
+            "max_rel_error": round(float(relative.max()), 4),
+        })
+    return sweep
+
+
+def run_case(name: str, graph, warm_queries: int = WARM_QUERIES, mode: str = "standard") -> dict:
+    """Serve one workload; return cold/warm/batched throughput measurements."""
+    cache = ArtifactCache(max_bytes=SKETCH_CACHE_BYTES) if mode != "standard" else None
+    service = LaplacianService(t_override=T_OVERRIDE, auto_flush=False, cache=cache)
+    key = service.register(graph, name=name)
+
+    stats = {"case": name, "n": graph.n, "m": graph.m, "t_override": T_OVERRIDE, "mode": mode}
+    if mode != "sketch-only":
+        stats.update(_measure_solves(service, key, graph, warm_queries))
+
+    rng = np.random.default_rng(42)
+    rng.normal(size=graph.n * warm_queries)  # keep the pair stream stable across modes
     pairs = [
         (int(u), int(v))
         for u, v in zip(
@@ -102,26 +176,39 @@ def run_case(name: str, graph, warm_queries: int = WARM_QUERIES) -> dict:
         lambda: service.effective_resistances(key, pairs)
     )
     np.testing.assert_allclose(batched, sequential, rtol=1e-9, atol=1e-12)
-
-    snapshot = service.metrics_snapshot()
-    service.close()
-    return {
-        "case": name,
-        "n": graph.n,
-        "m": graph.m,
-        "t_override": T_OVERRIDE,
-        "cold_solve_seconds": round(cold_seconds, 4),
-        "warm_solve_seconds": round(warm_seconds, 6),
-        "warm_speedup": round(cold_seconds / max(warm_seconds, 1e-12), 2),
-        "warm_queries_per_second": round(1.0 / max(warm_seconds, 1e-12), 1),
+    stats.update({
         "resistance_batch": RESISTANCE_BATCH,
         "sequential_resistance_seconds": round(sequential_seconds, 4),
         "batched_resistance_seconds": round(batched_seconds, 4),
         "batch_speedup": round(sequential_seconds / max(batched_seconds, 1e-12), 2),
+    })
+
+    if mode != "standard":
+        sweep = _measure_eta_sweep(
+            service, key, graph, pairs, np.asarray(batched), batched_seconds
+        )
+        headline = sweep[0]
+        stats.update({
+            # headline numbers come from the sketched path at the first eta;
+            # the exact splu-fallback numbers stay recorded alongside
+            "batch_speedup": headline["batch_speedup"],
+            "batch_speedup_exact": round(
+                sequential_seconds / max(batched_seconds, 1e-12), 2
+            ),
+            "eta": headline["eta"],
+            "max_rel_error": headline["max_rel_error"],
+            "sketch_vs_splu_speedup": headline["sketch_vs_splu_speedup"],
+            "eta_sweep": sweep,
+        })
+
+    snapshot = service.metrics_snapshot()
+    service.close()
+    stats.update({
         "cache_hit_rate": round(snapshot["cache"]["hit_rate"], 4),
         "batch_occupancy": round(snapshot["batch_occupancy"], 2),
         "cache_bytes": snapshot["cache_bytes"],
-    }
+    })
+    return stats
 
 
 def append_trajectory(cases) -> None:
@@ -138,7 +225,7 @@ def append_trajectory(cases) -> None:
 
 
 @pytest.mark.parametrize(
-    "name,factory", [(n, f) for n, f, heavy in make_workloads() if not heavy]
+    "name,factory", [(n, f) for n, f, mode in make_workloads() if mode == "standard"]
 )
 def test_serve_throughput(benchmark, name, factory):
     graph = factory()
@@ -163,19 +250,30 @@ def test_serve_floors_at_n2000():
 # -- script entry point ---------------------------------------------------------
 
 
-def main():
-    cases = []
-    for name, factory, heavy in make_workloads():
-        graph = factory()
-        stats = run_case(name, graph)
-        cases.append(stats)
-        print(
-            f"{name:>22} (n={stats['n']}, m={stats['m']}): "
+def _print_case(stats):
+    parts = [f"{stats['case']:>22} (n={stats['n']}, m={stats['m']}):"]
+    if "warm_speedup" in stats:
+        parts.append(
             f"cold {stats['cold_solve_seconds']:.3f}s, "
             f"warm {stats['warm_solve_seconds']*1000:.1f}ms "
-            f"({stats['warm_speedup']:.0f}x, {stats['warm_queries_per_second']:.0f} q/s), "
-            f"ER batch={RESISTANCE_BATCH} {stats['batch_speedup']:.1f}x"
+            f"({stats['warm_speedup']:.0f}x, {stats['warm_queries_per_second']:.0f} q/s),"
         )
+    parts.append(f"ER batch={RESISTANCE_BATCH} {stats['batch_speedup']:.1f}x")
+    if "eta_sweep" in stats:
+        parts.append(
+            f"[sketched eta={stats['eta']}: {stats['sketch_vs_splu_speedup']:.0f}x vs splu, "
+            f"max_rel_err {stats['max_rel_error']:.3f}; exact path {stats['batch_speedup_exact']:.1f}x]"
+        )
+    print(" ".join(parts))
+
+
+def main():
+    cases = []
+    for name, factory, mode in make_workloads():
+        graph = factory()
+        stats = run_case(name, graph, mode=mode)
+        cases.append(stats)
+        _print_case(stats)
     append_trajectory(cases)
     by_case = {c["case"]: c for c in cases}
     floors = by_case["random-2000"]
@@ -189,6 +287,19 @@ def main():
             f"FAIL: batched resistance speedup {floors['batch_speedup']}x below "
             f"floor {BATCH_SPEEDUP_FLOOR}x at n=2000"
         )
+    grid = by_case["grid-100x100"]
+    if grid["sketch_vs_splu_speedup"] < SKETCH_VS_SPLU_FLOOR:
+        raise SystemExit(
+            f"FAIL: sketched resistance batch {grid['sketch_vs_splu_speedup']}x over "
+            f"the splu fallback, below floor {SKETCH_VS_SPLU_FLOOR}x on grid-100x100"
+        )
+    for case in cases:
+        for entry in case.get("eta_sweep", ()):
+            if entry["max_rel_error"] > entry["eta"]:
+                raise SystemExit(
+                    f"FAIL: {case['case']} eta={entry['eta']} measured max relative "
+                    f"error {entry['max_rel_error']} breaks the accuracy contract"
+                )
     print(f"PASS (trajectory appended to {TRAJECTORY_PATH.name})")
 
 

@@ -90,6 +90,8 @@ def effective_resistances(
     pairs: Optional[Iterable[Tuple[int, int]]] = None,
     backend: str = "auto",
     solver=None,
+    eta: Optional[float] = None,
+    seed: Optional[int] = 0,
 ) -> np.ndarray:
     """Effective resistances, batched through one Laplacian factorisation.
 
@@ -100,15 +102,30 @@ def effective_resistances(
     answered from a single factorisation (sparse backend) or pseudoinverse
     (dense backend): ``u == v`` pairs report ``0`` and cross-component pairs
     ``inf``.  Pass ``solver`` to reuse an already-built
-    :class:`GroundedLaplacianSolver` or
-    :class:`~repro.linalg.sparse_backend.ResistanceOracle` (the serving layer
-    caches one per graph); anything with a ``pair_resistances(u, v)`` method
-    works.
+    :class:`GroundedLaplacianSolver`,
+    :class:`~repro.linalg.sparse_backend.ResistanceOracle` or
+    :class:`~repro.linalg.resistance.SketchedResistanceOracle` (the serving
+    layer caches one per graph); anything with a ``pair_resistances(u, v)``
+    method works.
+
+    ``eta`` is the approximate-resistance knob: a float in ``(0, 1)``
+    accepts relative error ``eta`` (with high probability over ``seed``),
+    served from one JL-sketched oracle of ``k = O(eta^-2 log m)`` rows --
+    ``k`` blocked solves of build work and ``O(n k)`` memory instead of one
+    solve per pair.  The one-shot facade only pays that build when the pair
+    list is long enough to beat per-pair solves (``> k`` pairs); shorter
+    lists are answered exactly, which trivially satisfies ``eta``.  For a
+    reusable sketch across calls build a
+    :class:`~repro.linalg.resistance.SketchedResistanceOracle` once and pass
+    it as ``solver`` (its own accuracy contract then applies; ``eta`` is
+    ignored).
     """
-    if pairs is None and solver is None:
+    if pairs is None and solver is None and eta is None:
         return _edge_effective_resistances(graph, backend=backend)
     if pairs is None:
         u, v, _ = graph.edge_array()
+        if u.size == 0:
+            return np.zeros(0)
     else:
         pair_array = np.asarray(list(pairs), dtype=np.int64)
         if pair_array.size == 0:
@@ -118,6 +135,15 @@ def effective_resistances(
         u, v = pair_array[:, 0], pair_array[:, 1]
     if solver is not None:
         return solver.pair_resistances(u, v)
+    if eta is not None:
+        from repro.linalg.jl import resistance_sketch_dimension
+        from repro.linalg.resistance import SketchedResistanceOracle
+
+        if u.size > resistance_sketch_dimension(graph.m, eta):
+            oracle = SketchedResistanceOracle(graph, eta=eta, seed=seed)
+            return oracle.pair_resistances(u, v)
+        # fall through: fewer pairs than sketch rows, exact per-pair solves
+        # are cheaper than the build and exact answers satisfy any eta
     if resolve_backend(graph, backend) == "sparse":
         return GroundedLaplacianSolver(graph).pair_resistances(u, v)
     # dense reference: read all pair resistances off the pseudoinverse, with

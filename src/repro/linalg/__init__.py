@@ -17,19 +17,28 @@
   ``splu`` factorisations, batched effective-resistance solves and the
   ``backend={'auto','dense','sparse'}`` selection used across the graphs,
   solvers and sparsify layers.
+* :mod:`repro.linalg.resistance` -- the JL-sketched effective-resistance
+  oracle (Spielman-Srivastava over Theorem 4.4): ``O(n log m / eta^2)``
+  memory, O(k) pair queries, built by blocked grounded solves against the
+  sketched incidence; serves large-n resistance queries past the dense
+  oracle's ``n^2`` gate.
 """
 
 from repro.linalg.jl import (
     achlioptas_matrix,
     kane_nelson_matrix,
     kane_nelson_random_bits,
+    kane_nelson_sketch,
+    resistance_sketch_dimension,
     sketch_preserves_norm,
 )
 from repro.linalg.leverage import (
+    approximate_edge_leverage_scores,
     approximate_leverage_scores,
     exact_leverage_scores,
     LeverageScoreReport,
 )
+from repro.linalg.resistance import SketchedResistanceOracle
 from repro.linalg.lewis import (
     compute_apx_weights,
     compute_initial_weights,
@@ -54,10 +63,14 @@ __all__ = [
     "achlioptas_matrix",
     "kane_nelson_matrix",
     "kane_nelson_random_bits",
+    "kane_nelson_sketch",
+    "resistance_sketch_dimension",
     "sketch_preserves_norm",
     "exact_leverage_scores",
     "approximate_leverage_scores",
+    "approximate_edge_leverage_scores",
     "LeverageScoreReport",
+    "SketchedResistanceOracle",
     "exact_lewis_weights",
     "regularized_lewis_weights",
     "compute_apx_weights",

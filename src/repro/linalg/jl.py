@@ -20,6 +20,7 @@ import math
 from typing import Optional, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
 
 def jl_sketch_dimension(m: int, eta: float, delta: Optional[float] = None) -> int:
@@ -29,6 +30,35 @@ def jl_sketch_dimension(m: int, eta: float, delta: Optional[float] = None) -> in
     m = max(2, int(m))
     delta = delta if delta is not None else 1.0 / (m ** 2)
     return max(1, math.ceil(4.0 * math.log(1.0 / delta) / (eta * eta)))
+
+
+def resistance_sketch_dimension(m: int, eta: float, delta: Optional[float] = None) -> int:
+    """Sketch rows needed so *squared* sketched norms carry relative error ``eta``.
+
+    Effective resistances (and leverage scores) are squared Euclidean norms of
+    sketched vectors, so the quantity that must concentrate is ``||Qx||^2``
+    itself -- no detour through the norm guarantee of
+    :func:`jl_sketch_dimension` and its conservative constant.  The chi-square
+    Chernoff bound gives, per vector,
+
+        ``P[ ||Qx||^2 > (1 + eta) ||x||^2 ] <= exp(-k (eta - log(1+eta)) / 2)``
+
+    with the (binding) upper tail; solving for failure probability ``delta``
+    (default ``1/m^2``, union-bounded over poly(m) queried pairs) yields
+
+        ``k = ceil( 2 log(2/delta) / (eta - log(1+eta)) )``.
+
+    For small ``eta`` this is ``~ 4 log(2/delta) / eta^2``, the familiar
+    ``Theta(eta^{-2} log m)`` of Theorem 4.4 with a practical constant.
+    """
+    if not (0.0 < eta < 1.0):
+        raise ValueError(f"distortion eta must lie in (0, 1), got {eta}")
+    m = max(2, int(m))
+    delta = delta if delta is not None else 1.0 / (m ** 2)
+    if not (0.0 < delta < 1.0):
+        raise ValueError(f"failure probability delta must lie in (0, 1), got {delta}")
+    gap = eta - math.log1p(eta)
+    return max(1, math.ceil(2.0 * math.log(2.0 / delta) / gap))
 
 
 def achlioptas_matrix(
@@ -89,6 +119,61 @@ def kane_nelson_matrix(
         signs = prg.integers(0, 2, size=s) * 2 - 1
         Q[rows, column] = signs * scale
     return Q
+
+
+def _floyd_distinct_rows(
+    prg: np.random.Generator, m: int, k: int, s: int
+) -> np.ndarray:
+    """``s`` distinct rows in ``[0, k)`` for each of ``m`` columns (vectorised).
+
+    Floyd's sampling algorithm run column-parallel: iteration ``t`` draws one
+    row uniformly from ``[0, k - s + t]``; a column that already holds the draw
+    takes ``k - s + t`` itself, which no earlier iteration can have produced.
+    Each column ends with a uniform ``s``-subset after ``s`` bulk draws -- no
+    per-column Python loop, no ``(m, k)`` scratch matrix.
+    """
+    base = k - s
+    chosen = np.empty((m, s), dtype=np.int64)
+    for t in range(s):
+        draw = prg.integers(0, base + t + 1, size=m)
+        if t:
+            duplicate = (chosen[:, :t] == draw[:, None]).any(axis=1)
+            draw = np.where(duplicate, base + t, draw)
+        chosen[:, t] = draw
+    return chosen
+
+
+def kane_nelson_sketch(
+    k: int,
+    m: int,
+    seed_bits: int,
+    column_sparsity: Optional[int] = None,
+) -> sp.csr_matrix:
+    """Sparse-format Kane-Nelson transform for large ambient dimensions.
+
+    Same matrix shape contract as :func:`kane_nelson_matrix` -- ``s`` distinct
+    nonzero rows per column with values ``+/- 1/sqrt(s)``, expanded
+    deterministically from the shared ``seed_bits`` -- but materialised as a
+    ``scipy.sparse`` CSR matrix by batched draws instead of a dense ``k x m``
+    array filled by an ``m``-iteration Python loop.  At ``m ~ 10^5`` edges the
+    dense expansion costs hundreds of megabytes and seconds of loop time; this
+    construction is ``O(m s)`` memory and a handful of vectorised draws, which
+    is what the sketched resistance oracle builds its sketched incidence from.
+
+    The two constructions draw from the same distribution but consume the PRG
+    differently, so for a fixed seed they produce different (each internally
+    deterministic) matrices.
+    """
+    if k < 1 or m < 1:
+        raise ValueError(f"matrix dimensions must be positive, got k={k}, m={m}")
+    s = column_sparsity if column_sparsity is not None else max(1, math.ceil(math.sqrt(k)))
+    s = min(s, k)
+    prg = np.random.default_rng(int(seed_bits) & ((1 << 63) - 1))
+    rows = _floyd_distinct_rows(prg, m, k, s)
+    signs = prg.integers(0, 2, size=(m, s)) * 2 - 1
+    data = signs.ravel() / math.sqrt(s)
+    cols = np.repeat(np.arange(m, dtype=np.int64), s)
+    return sp.coo_matrix((data, (rows.ravel(), cols)), shape=(k, m)).tocsr()
 
 
 def sample_kane_nelson(

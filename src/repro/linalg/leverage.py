@@ -13,13 +13,17 @@ one Laplacian/SDD solve and costs ``T(n, m)`` rounds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.congest.ledger import CommunicationPrimitives
 from repro.linalg.jl import jl_sketch_dimension, kane_nelson_matrix, kane_nelson_random_bits
+
+if TYPE_CHECKING:  # annotation-only imports (no runtime graph dependency)
+    from repro.graphs.graph import WeightedGraph
+    from repro.linalg.resistance import SketchedResistanceOracle
 
 SolveFn = Callable[[np.ndarray], np.ndarray]
 
@@ -148,4 +152,45 @@ def approximate_leverage_scores(
         random_bits=bits,
         rounds=rounds,
         solves=solves,
+    )
+
+
+def approximate_edge_leverage_scores(
+    graph: "WeightedGraph",
+    eta: float,
+    oracle: Optional["SketchedResistanceOracle"] = None,
+    seed: Optional[int] = 0,
+) -> LeverageScoreReport:
+    """Edge leverage scores of ``M = W^{1/2} B`` via a sketched resistance oracle.
+
+    For the incidence matrix the general machinery of
+    :func:`approximate_leverage_scores` specialises: ``M^T M = L`` and the
+    leverage score of edge ``e = (u, v)`` is its weighted effective resistance
+    ``sigma_e = w_e R(u, v)`` (Spielman-Srivastava).  The sketched quantities
+    Algorithm 6 computes -- ``k`` Laplacian solves against JL-sketched
+    right-hand sides -- are therefore exactly the
+    :class:`~repro.linalg.resistance.SketchedResistanceOracle` embedding, and
+    passing the serving layer's cached ``oracle`` makes sparsifier
+    construction and resistance serving share one artifact instead of paying
+    the ``k`` solves twice.
+
+    Scores satisfy ``(1 - eta) sigma_e <= sigma_apx_e <= (1 + eta) sigma_e``
+    for every edge with high probability (Lemma 4.5 semantics).  An ``oracle``
+    built with a smaller ``eta`` only tightens the bound.
+    """
+    from repro.linalg.resistance import SketchedResistanceOracle
+
+    if oracle is None:
+        oracle = SketchedResistanceOracle(graph, eta=eta, seed=seed)
+    elif not oracle.exact and oracle.eta > eta:
+        # an identity-sketch (exact) oracle satisfies any eta regardless of
+        # the nominal bound it was requested with
+        raise ValueError(
+            f"shared oracle guarantees eta={oracle.eta}, looser than requested {eta}"
+        )
+    return LeverageScoreReport(
+        scores=oracle.edge_leverage_scores(graph),
+        sketch_rows=oracle.k,
+        random_bits=oracle.random_bits,
+        solves=oracle.k,
     )

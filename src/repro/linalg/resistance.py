@@ -1,0 +1,185 @@
+"""Sketched effective-resistance oracle (Spielman-Srivastava via Theorem 4.4).
+
+The exact :class:`~repro.linalg.sparse_backend.ResistanceOracle` answers pair
+queries in O(1) but stores the full ``n x n`` grounded inverse, which gates it
+at ``RESISTANCE_ORACLE_LIMIT`` vertices; above the gate the serving layer fell
+back to per-batch ``splu`` triangular solves that barely amortise.  This
+module is the middle regime the paper's own leverage-score machinery implies:
+effective resistance is a squared Euclidean distance,
+
+    ``R(u, v) = || W^{1/2} B L^+ (e_u - e_v) ||^2``,
+
+so a Johnson-Lindenstrauss sketch ``Q`` with ``k = O(eta^{-2} log m)`` rows
+(Theorem 4.4, the Kane-Nelson transform of :mod:`repro.linalg.jl`) compresses
+the ``m``-dimensional embedding to ``k`` dimensions while preserving every
+pair distance to relative error ``eta`` with high probability:
+
+    ``R(u, v) ~= || E[u] - E[v] ||^2``,   ``E = (Q W^{1/2} B) L^+``.
+
+Building ``E`` costs ``k`` *blocked* grounded solves against the sketched
+incidence (one ``splu`` factorisation shared with the rest of the serving
+layer, right-hand sides in batches), after which the oracle stores ``n x k``
+floats -- ``O(n log m / eta^2)`` memory instead of ``O(n^2)`` -- and answers a
+batch of pair queries with one vectorised einsum.
+
+The same sketch is exactly what ``ComputeLeverageScores`` (Algorithm 6) wants
+for edge leverage scores ``sigma_e = w_e R(u_e, v_e)``:
+:meth:`SketchedResistanceOracle.edge_leverage_scores` reads them off the
+cached embedding, so sparsifier construction and resistance serving share one
+artifact (see :func:`repro.linalg.leverage.approximate_edge_leverage_scores`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.linalg.jl import (
+    kane_nelson_random_bits,
+    kane_nelson_sketch,
+    resistance_sketch_dimension,
+)
+from repro.linalg.sparse_backend import (
+    DEFAULT_BATCH_SIZE,
+    GroundedLaplacianSolver,
+    apply_pair_semantics,
+    incidence_csr,
+    validate_pair_indices,
+)
+
+if TYPE_CHECKING:  # annotation-only: avoid importing the graph module at runtime
+    from repro.graphs.graph import WeightedGraph
+
+#: Default storage dtype of the ``n x k`` embedding.  The JL distortion
+#: (``eta >= 0.01``) dwarfs single-precision rounding, and float32 halves the
+#: cache weight of large-n embeddings (grid 200x200 at eta=0.5: 69 MiB).
+SKETCH_DTYPE = np.float32
+
+
+class SketchedResistanceOracle:
+    """JL-compressed effective-resistance oracle with accuracy bound ``eta``.
+
+    Answers arbitrary pair queries to relative error ``eta`` (with high
+    probability over the sketch seed) in O(k) per pair; bulk queries are one
+    vectorised einsum over the ``n x k`` embedding.  Cross-component pairs
+    report ``inf`` and ``u == v`` pairs ``0``, matching the exact oracles.
+
+    When the sketch dimension ``k`` would reach the ambient dimension ``m``,
+    sketching gains nothing and the identity sketch is used instead -- the
+    oracle is then *exact* (the embedding is the full ``W^{1/2} B L^+``).
+
+    Parameters
+    ----------
+    graph:
+        The weighted graph to serve.
+    eta:
+        Relative accuracy bound in ``(0, 1)``.
+    seed:
+        Models the leader's coin flips for the shared Kane-Nelson seed; the
+        expansion downstream of the seed is deterministic (Theorem 4.4).
+    grounded:
+        Optional pre-built :class:`GroundedLaplacianSolver` to reuse (the
+        serving layer caches one per graph); built on demand otherwise.
+    delta:
+        Per-pair failure probability of the accuracy bound; default
+        ``1/m^2`` so a union bound covers poly(m) queried pairs.
+    k_override:
+        Explicit sketch dimension (experiment knob; bypasses ``delta``).
+    batch_size:
+        Right-hand sides per blocked grounded solve during the build.
+    """
+
+    def __init__(
+        self,
+        graph: "WeightedGraph",
+        eta: float,
+        seed: Optional[int] = 0,
+        grounded: Optional[GroundedLaplacianSolver] = None,
+        delta: Optional[float] = None,
+        k_override: Optional[int] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        dtype=SKETCH_DTYPE,
+    ):
+        if not (0.0 < eta < 1.0):
+            raise ValueError(f"distortion eta must lie in (0, 1), got {eta}")
+        self.n = graph.n
+        self.eta = float(eta)
+        m = graph.m
+        if k_override is not None:
+            if k_override < 1:
+                raise ValueError(f"k_override must be >= 1, got {k_override}")
+            k = int(k_override)
+        else:
+            k = resistance_sketch_dimension(m, eta, delta)
+        self.exact = bool(m == 0 or k >= m)
+        self.k = m if self.exact else k
+        if self.exact:
+            # the identity sketch promises *exact* answers, and a tight eta
+            # (below float32 rounding) can only reach this branch: store in
+            # full precision so the promise holds
+            dtype = np.float64
+        self.random_bits = kane_nelson_random_bits(m)
+        rng = np.random.default_rng(seed)
+        self.seed_bits = int(rng.integers(0, 2 ** min(62, self.random_bits)))
+
+        solver = grounded if grounded is not None else GroundedLaplacianSolver(graph)
+        self._labels = solver.component_labels().copy()
+        if m == 0:
+            self._embedding = np.zeros((self.n, 0), dtype=dtype)
+            return
+        B, w = incidence_csr(graph)
+        sqrt_w = sp.diags(np.sqrt(w))
+        if self.exact:
+            # identity sketch: the embedding is the full W^{1/2} B L^+ and
+            # every answer is exact (small graphs, or eta so tight that
+            # sketching past the ambient dimension would gain nothing)
+            sketched_incidence = (sqrt_w @ B).tocsr()
+        else:
+            Q = kane_nelson_sketch(self.k, m, self.seed_bits)
+            sketched_incidence = (Q @ sqrt_w @ B).tocsr()
+        # E^T = L^+ S^T, built by blocked grounded solves: each column of S^T
+        # is a signed combination of edge indicator differences, hence
+        # consistent per component as solve_many requires; the per-component
+        # re-centring it applies cancels in every pair difference.
+        embedding = np.empty((self.n, self.k), dtype=dtype)
+        for start in range(0, self.k, batch_size):
+            stop = min(self.k, start + batch_size)
+            block = sketched_incidence[start:stop].toarray().T
+            embedding[:, start:stop] = solver.solve_many(block)
+        self._embedding = embedding
+
+    def pair_resistances(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """``(1 +/- eta)``-approximate resistances for arbitrary vertex pairs."""
+        u, v = validate_pair_indices(u, v, self.n)
+        diff = (self._embedding[u] - self._embedding[v]).astype(np.float64, copy=False)
+        resistances = np.einsum("ij,ij->i", diff, diff)
+        return apply_pair_semantics(resistances, self._labels, u, v)
+
+    def edge_leverage_scores(self, graph: "WeightedGraph") -> np.ndarray:
+        """Approximate leverage scores ``sigma_e = w_e R(u_e, v_e)`` of every edge.
+
+        The leverage score of row ``e`` of ``W^{1/2} B`` is exactly the edge's
+        weighted effective resistance, so the cached embedding answers all of
+        them in one einsum -- the reuse Algorithm 6 is after.  ``graph`` must
+        be the graph this oracle was built for; a mismatched graph whose
+        vertices happen to be in range would silently read another graph's
+        embedding, so at least the vertex count is checked.
+        """
+        if graph.n != self.n:
+            raise ValueError(
+                f"oracle was built for a graph on {self.n} vertices, got {graph.n}"
+            )
+        u, v, w = graph.edge_array()
+        return w * self.pair_resistances(u, v)
+
+    def nbytes(self) -> int:
+        """Resident size for cache accounting (the embedding dominates)."""
+        return int(self._embedding.nbytes + self._labels.nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchedResistanceOracle(n={self.n}, k={self.k}, eta={self.eta}"
+            f"{', exact' if self.exact else ''})"
+        )

@@ -101,6 +101,32 @@ def laplacian_quadratic_form_vectorized(graph: WeightedGraph, x: np.ndarray) -> 
     return float(np.dot(w, diff * diff))
 
 
+def validate_pair_indices(u, v, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Shared validation for pair-resistance queries: aligned int64 arrays.
+
+    Every ``pair_resistances`` implementation (grounded solver, dense oracle,
+    sketched oracle) must agree on this contract, so it lives in one place.
+    """
+    u = np.asarray(u, dtype=np.int64).ravel()
+    v = np.asarray(v, dtype=np.int64).ravel()
+    if u.shape != v.shape:
+        raise ValueError(f"pair arrays must align, got {u.shape} vs {v.shape}")
+    if u.size and (
+        int(min(u.min(), v.min())) < 0 or int(max(u.max(), v.max())) >= n
+    ):
+        raise ValueError(f"pair endpoints out of range [0, {n})")
+    return u, v
+
+
+def apply_pair_semantics(
+    resistances: np.ndarray, labels: np.ndarray, u: np.ndarray, v: np.ndarray
+) -> np.ndarray:
+    """The shared pair conventions: ``inf`` across components, ``0`` on ties."""
+    resistances[labels[u] != labels[v]] = np.inf
+    resistances[u == v] = 0.0
+    return resistances
+
+
 # -- grounded factorisation ----------------------------------------------------
 
 
@@ -209,14 +235,7 @@ class GroundedLaplacianSolver:
         and ``u_i == v_i`` pairs as ``0``.  Within-component pairs go through
         the grounded factorisation in batches of ``batch_size``.
         """
-        u = np.asarray(u, dtype=np.int64).ravel()
-        v = np.asarray(v, dtype=np.int64).ravel()
-        if u.shape != v.shape:
-            raise ValueError(f"pair arrays must align, got {u.shape} vs {v.shape}")
-        if u.size and (
-            int(min(u.min(), v.min())) < 0 or int(max(u.max(), v.max())) >= self.n
-        ):
-            raise ValueError(f"pair endpoints out of range [0, {self.n})")
+        u, v = validate_pair_indices(u, v, self.n)
         labels = self.component_labels()
         resistances = np.full(u.shape[0], np.inf)
         resistances[u == v] = 0.0
@@ -297,19 +316,10 @@ class ResistanceOracle:
 
     def pair_resistances(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
         """Vectorised exact resistances; ``inf`` across components, 0 on ties."""
-        u = np.asarray(u, dtype=np.int64).ravel()
-        v = np.asarray(v, dtype=np.int64).ravel()
-        if u.shape != v.shape:
-            raise ValueError(f"pair arrays must align, got {u.shape} vs {v.shape}")
-        if u.size and (
-            int(min(u.min(), v.min())) < 0 or int(max(u.max(), v.max())) >= self.n
-        ):
-            raise ValueError(f"pair endpoints out of range [0, {self.n})")
+        u, v = validate_pair_indices(u, v, self.n)
         S = self._S
         resistances = S[u, u] + S[v, v] - 2.0 * S[u, v]
-        resistances[self._labels[u] != self._labels[v]] = np.inf
-        resistances[u == v] = 0.0
-        return resistances
+        return apply_pair_semantics(resistances, self._labels, u, v)
 
     def nbytes(self) -> int:
         return int(self._S.nbytes + self._labels.nbytes)

@@ -10,9 +10,13 @@ something:
 * :mod:`repro.serve.artifacts` -- byte-accounted LRU cache of sparsifiers,
   grounded factorisations and solver preprocessing.
 * :mod:`repro.serve.planner` -- coalesces heterogeneous queries into the
-  blocked ``solve_many`` / batched effective-resistance kernels.
+  blocked ``solve_many`` / batched effective-resistance kernels, with
+  eps-aware routing of resistance queries (exact dense oracle below the
+  size gate, JL-sketched oracle for ``eta``-bounded queries above it, splu
+  fallback until a sketch build has amortised).
 * :mod:`repro.serve.service` -- the :class:`LaplacianService` front door:
-  thread-safe submission queue, flush policy, serving metrics.
+  thread-safe submission queue, flush policy with admission control
+  (``max_pending`` -> :class:`ServiceOverloadedError`), serving metrics.
 
 Quickstart::
 
@@ -50,6 +54,7 @@ from repro.serve.service import (
     LaplacianService,
     QueryTicket,
     ServiceMetrics,
+    ServiceOverloadedError,
 )
 
 __all__ = [
@@ -73,4 +78,5 @@ __all__ = [
     "LaplacianService",
     "QueryTicket",
     "ServiceMetrics",
+    "ServiceOverloadedError",
 ]

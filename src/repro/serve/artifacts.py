@@ -4,7 +4,10 @@ Everything the serving layer computes that outlives one query lives here:
 per-``(graph, params)`` :class:`repro.solvers.laplacian.SolverPreprocessing`
 handles (each embedding its spectral sparsifier), grounded ``splu``
 factorisations (:class:`GroundedLaplacianSolver`), dense resistance oracles
-(:class:`ResistanceOracle`) and memoised certification reports.
+(:class:`ResistanceOracle`), JL-sketched resistance oracles
+(:class:`repro.linalg.resistance.SketchedResistanceOracle`, keyed by their
+accuracy bound ``eta`` and accounted via the ``nbytes()`` protocol like the
+others) and memoised certification reports.
 
 Keys embed the graph's **version** at build time, so a mutated graph can never
 hit an artifact built against its earlier content -- the lookup simply misses

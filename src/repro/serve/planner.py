@@ -17,9 +17,16 @@ Three query kinds exist (the service constructs them via
     ``L_G x = b`` to relative error ``eps``; same-graph same-``eps`` queries
     share one block solve through :func:`repro.core.api.solve_many`.
 ``resistance``
-    effective resistance between an arbitrary vertex pair; same-graph queries
-    share one batched ``pair_resistances`` kernel call over the cached
-    resistance oracle (medium graphs) or grounded factorisation (large ones).
+    effective resistance between an arbitrary vertex pair, exact
+    (``eta=None``) or to relative error ``eta``; same-graph same-``eta``
+    queries share one batched ``pair_resistances`` kernel call.  Routing is
+    eps-aware (see :meth:`QueryPlanner._execute_resistance`): medium graphs
+    answer from the exact dense oracle, large graphs answer approximate
+    queries from the JL-sketched oracle once its build has amortised and
+    everything else from per-batch grounded ``splu`` solves.  Exact and
+    approximate queries never coalesce into one batch (``eta`` is a
+    coalescing parameter), so an exact client can never be handed a sketched
+    answer.
 ``certify``
     is the cached ``(1 +/- eps)``-sparsifier of this graph valid?  Same-graph
     same-``eps`` queries collapse to a single certification.
@@ -40,6 +47,8 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core import api
+from repro.linalg.jl import resistance_sketch_dimension
+from repro.linalg.resistance import SketchedResistanceOracle
 from repro.linalg.sparse_backend import (
     RESISTANCE_ORACLE_LIMIT,
     GroundedLaplacianSolver,
@@ -52,7 +61,32 @@ from repro.solvers.laplacian import BCCLaplacianSolver
 
 QUERY_KINDS = ("solve", "resistance", "certify")
 
+#: An approximate-resistance batch at least this large triggers the sketch
+#: build immediately: a bulk query signals a bulk workload, and the build
+#: amortises over the rest of the stream.
+SKETCH_EAGER_BATCH = 16
+
+#: Scalar/approximate trickle threshold: the sketch is built once cumulative
+#: approximate pairs served by the splu fallback reach ``k / this`` (the build
+#: costs ``k`` blocked solves, a fallback batch costs one solve per pair).
+SKETCH_DEMAND_FACTOR = 4
+
+#: Bound on the demand-counter dict: unregistered graphs and permanently
+#: over-budget sketches would otherwise leak counters over a long-lived
+#: service.  Evicting a counter only delays one graph's sketch build.
+SKETCH_DEMAND_MAX_ENTRIES = 1024
+
 _query_ids = itertools.count()
+
+
+def _validated_eta(eta) -> Optional[float]:
+    """Normalise the accuracy knob: ``None`` = exact, else a float in (0, 1)."""
+    if eta is None:
+        return None
+    eta = float(eta)
+    if not (0.0 < eta < 1.0):
+        raise ValueError(f"accuracy bound eta must lie in (0, 1), got {eta}")
+    return eta
 
 
 @dataclass
@@ -74,12 +108,26 @@ def solve_query(graph_key: str, b: np.ndarray, eps: float = 1e-6) -> Query:
     return Query("solve", graph_key, {"b": np.asarray(b, dtype=float), "eps": float(eps)})
 
 
-def resistance_query(graph_key: str, u: int, v: int) -> Query:
-    """Effective resistance between vertices ``u`` and ``v``."""
-    return Query("resistance", graph_key, {"u": int(u), "v": int(v)})
+def resistance_query(
+    graph_key: str, u: int, v: int, eta: Optional[float] = None
+) -> Query:
+    """Effective resistance between vertices ``u`` and ``v``.
+
+    ``eta=None`` demands the exact value; a float in ``(0, 1)`` accepts a
+    ``(1 +/- eta)``-approximate answer, which lets graphs above the dense
+    oracle gate serve from the JL-sketched oracle instead of per-batch
+    triangular solves.  (The eta is validated here, at submit time.)
+    """
+    return Query(
+        "resistance",
+        graph_key,
+        {"u": int(u), "v": int(v), "eta": _validated_eta(eta)},
+    )
 
 
-def resistance_batch_query(graph_key: str, pairs: Sequence[Tuple[int, int]]) -> Query:
+def resistance_batch_query(
+    graph_key: str, pairs: Sequence[Tuple[int, int]], eta: Optional[float] = None
+) -> Query:
     """Effective resistances of many pairs as ONE queue entry.
 
     A bulk request pays the per-query protocol cost (queue entry, ticket,
@@ -87,13 +135,16 @@ def resistance_batch_query(graph_key: str, pairs: Sequence[Tuple[int, int]]) -> 
     is where most of the batch=64 throughput win comes from once the kernel
     itself is an O(1)-per-pair oracle lookup.  Its result value is an array
     aligned with ``pairs``.  In the planner it coalesces freely with scalar
-    resistance queries on the same graph.
+    resistance queries on the same graph carrying the same ``eta`` (and never
+    with queries carrying a different one).
     """
     pair_array = np.asarray(list(pairs), dtype=np.int64)
     if pair_array.ndim != 2 or pair_array.shape[1] != 2:
         raise ValueError(f"pairs must be (u, v) tuples, got shape {pair_array.shape}")
     return Query(
-        "resistance", graph_key, {"u": pair_array[:, 0], "v": pair_array[:, 1]}
+        "resistance",
+        graph_key,
+        {"u": pair_array[:, 0], "v": pair_array[:, 1], "eta": _validated_eta(eta)},
     )
 
 
@@ -160,8 +211,15 @@ class QueryPlanner:
         self.backend = backend
         #: graphs up to this many vertices answer resistance queries from a
         #: precomputed dense oracle (O(1) per query) instead of per-batch
-        #: triangular solves; n^2 doubles of cache weight, LRU-evictable
+        #: triangular solves; n^2 doubles of cache weight, LRU-evictable.
+        #: Above the gate, approximate queries (eta set) are served by the
+        #: JL-sketched oracle once its build has amortised.
         self.oracle_limit = oracle_limit
+        #: cumulative approximate pairs served by the splu fallback, keyed by
+        #: (fingerprint, version, eta): once demand reaches k /
+        #: SKETCH_DEMAND_FACTOR the sketch build has amortised and is
+        #: triggered.  Touched only under the service's execute lock.
+        self._sketch_demand: Dict[Tuple[str, int, float], int] = {}
 
     # -- planning --------------------------------------------------------------
 
@@ -194,7 +252,9 @@ class QueryPlanner:
             return (query.payload["eps"],)
         if query.kind == "certify":
             return (query.payload["eps"],)
-        return ()
+        # resistance: exact (None) and approximate queries, or two different
+        # accuracy bounds, must never share a kernel call
+        return (query.payload.get("eta"),)
 
     # -- execution -------------------------------------------------------------
 
@@ -243,6 +303,12 @@ class QueryPlanner:
             self.cache.invalidate_graph(
                 stale_fingerprint, keep_version=entry.version
             )
+            # drop sketch-demand counters for content that no longer exists
+            self._sketch_demand = {
+                key: count
+                for key, count in self._sketch_demand.items()
+                if key[0] != stale_fingerprint
+            }
         return entry
 
     def _solver_params(self) -> Tuple[Hashable, ...]:
@@ -280,38 +346,8 @@ class QueryPlanner:
         self, entry: RegisteredGraph, batch: QueryBatch
     ) -> Tuple[List[Any], bool]:
         graph = entry.graph
+        eta = batch.coalesce_params[0] if batch.coalesce_params else None
 
-        def build_grounded() -> GroundedLaplacianSolver:
-            grounded, _ = self.cache.get_or_build(
-                entry.fingerprint,
-                entry.version,
-                "grounded",
-                (),
-                lambda: GroundedLaplacianSolver(graph),
-            )
-            return grounded
-
-        if graph.n <= self.oracle_limit:
-            # Medium graphs: precompute the dense grounded-inverse oracle
-            # once (n batched triangular solves, n^2 doubles) and answer
-            # every later pair query with a three-element lookup.  The
-            # grounded factorisation is only materialised on an oracle miss
-            # -- a cached oracle must not trigger a useless splu rebuild.
-            solver, cache_hit = self.cache.get_or_build(
-                entry.fingerprint,
-                entry.version,
-                "resistance_oracle",
-                (),
-                lambda: ResistanceOracle(graph, grounded=build_grounded()),
-            )
-        else:
-            solver, cache_hit = self.cache.get_or_build(
-                entry.fingerprint,
-                entry.version,
-                "grounded",
-                (),
-                lambda: GroundedLaplacianSolver(graph),
-            )
         # flatten scalar and bulk queries into aligned index arrays, answer
         # with a single kernel call, then split the outputs back per query
         us: List[np.ndarray] = []
@@ -320,6 +356,25 @@ class QueryPlanner:
             us.append(np.atleast_1d(np.asarray(query.payload["u"], dtype=np.int64)))
             vs.append(np.atleast_1d(np.asarray(query.payload["v"], dtype=np.int64)))
         counts = [a.size for a in us]
+
+        if graph.n <= self.oracle_limit:
+            # Medium graphs: precompute the dense grounded-inverse oracle
+            # once (n batched triangular solves, n^2 doubles) and answer
+            # every later pair query with a three-element lookup; exact
+            # answers satisfy any requested eta for free.  The grounded
+            # factorisation is only materialised on an oracle miss -- a
+            # cached oracle must not trigger a useless splu rebuild.
+            solver, cache_hit = self.cache.get_or_build(
+                entry.fingerprint,
+                entry.version,
+                "resistance_oracle",
+                (),
+                lambda: ResistanceOracle(graph, grounded=self._grounded(entry)[0]),
+            )
+        elif eta is not None:
+            solver, cache_hit = self._sketched_or_fallback(entry, eta, sum(counts))
+        else:
+            solver, cache_hit = self._grounded(entry)
         resistances = solver.pair_resistances(np.concatenate(us), np.concatenate(vs))
         values: List[Any] = []
         offset = 0
@@ -328,6 +383,76 @@ class QueryPlanner:
             offset += count
             values.append(chunk.copy() if np.ndim(query.payload["u"]) else float(chunk[0]))
         return values, cache_hit
+
+    def _grounded(
+        self, entry: RegisteredGraph
+    ) -> Tuple[GroundedLaplacianSolver, bool]:
+        """Cached grounded ``splu`` factorisation: ``(solver, cache_hit)``.
+
+        The single owner of the ``"grounded"`` cache identity -- every
+        consumer (exact serving, oracle builds, sketch fallback) goes through
+        here so the key and builder can never silently fork.
+        """
+        return self.cache.get_or_build(
+            entry.fingerprint,
+            entry.version,
+            "grounded",
+            (),
+            lambda: GroundedLaplacianSolver(entry.graph),
+        )
+
+    def _sketched_or_fallback(
+        self, entry: RegisteredGraph, eta: float, n_pairs: int
+    ) -> Tuple[Any, bool]:
+        """Serving artifact for a large-graph approximate-resistance batch.
+
+        Policy: a cached sketch always serves.  Otherwise the sketch (``k``
+        blocked grounded solves, ``n x k`` floats) is built once the workload
+        has earned it -- the batch alone is ``SKETCH_EAGER_BATCH`` pairs or
+        bigger, or cumulative fallback demand for this ``(graph, eta)`` has
+        reached ``k / SKETCH_DEMAND_FACTOR`` pairs.  Until then the exact
+        grounded factorisation answers (exact trivially satisfies ``eta``):
+        a trickle of scalar queries never pays a sketch build it would not
+        amortise, while any bulk client flips the graph into the sketched
+        regime for everyone.  A sketch whose embedding cannot stay resident
+        under the cache byte budget is never built at all -- the LRU would
+        evict it on the next insert and every approximate batch would pay
+        the ``k``-solve rebuild, far worse than the fallback it replaces.
+        """
+        params = (eta, self.solver_seed)
+        if not self.cache.contains(
+            entry.fingerprint, entry.version, "sketched_resistance", params
+        ):
+            k = resistance_sketch_dimension(entry.graph.m, eta)
+            demand_key = (entry.fingerprint, entry.version, eta)
+            demand = self._sketch_demand.get(demand_key, 0) + n_pairs
+            # embedding (n x k float32; float64 n x m when the identity
+            # sketch takes over) + component labels (n int64)
+            m = entry.graph.m
+            item = 8 if k >= m else 4
+            predicted_nbytes = entry.graph.n * (item * min(k, m) + 8)
+            if predicted_nbytes > self.cache.max_bytes or (
+                n_pairs < SKETCH_EAGER_BATCH and demand * SKETCH_DEMAND_FACTOR < k
+            ):
+                self._sketch_demand[demand_key] = demand
+                while len(self._sketch_demand) > SKETCH_DEMAND_MAX_ENTRIES:
+                    # oldest counter first (insertion order); losing one only
+                    # delays that graph's next build decision
+                    self._sketch_demand.pop(next(iter(self._sketch_demand)))
+                return self._grounded(entry)
+            self._sketch_demand.pop(demand_key, None)
+        return self.cache.get_or_build(
+            entry.fingerprint,
+            entry.version,
+            "sketched_resistance",
+            params,
+            lambda: SketchedResistanceOracle(
+                entry.graph,
+                eta=eta,
+                seed=self.solver_seed,
+                grounded=self._grounded(entry)[0],
+            ),
+        )
 
     def _execute_certify(
         self, entry: RegisteredGraph, batch: QueryBatch

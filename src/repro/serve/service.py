@@ -47,6 +47,16 @@ from repro.serve.registry import GraphRegistry
 from repro.solvers.laplacian import LaplacianSolveReport
 
 
+class ServiceOverloadedError(RuntimeError):
+    """The submission queue is at ``FlushPolicy.max_pending``; shed load.
+
+    Raised by :meth:`LaplacianService.submit` *before* the query is enqueued:
+    the caller's work is rejected intact (no half-registered ticket), and a
+    well-behaved client backs off and retries.  Rejections are counted in
+    ``metrics_snapshot()["rejected_total"]``.
+    """
+
+
 @dataclass(frozen=True)
 class FlushPolicy:
     """When the submission queue drains into the planner.
@@ -54,11 +64,16 @@ class FlushPolicy:
     ``max_batch`` bounds occupancy (a flush fires as soon as that many
     queries are pending); ``max_wait_seconds`` bounds latency (the background
     flusher drains the queue that long after the oldest pending arrival, even
-    if the batch is not full).
+    if the batch is not full); ``max_pending`` bounds the queue itself --
+    admission control: once that many queries are pending (e.g. because
+    producers outrun the planner), further submissions raise
+    :class:`ServiceOverloadedError` instead of growing the queue without
+    bound.  ``None`` keeps the historical unbounded behaviour.
     """
 
     max_batch: int = 64
     max_wait_seconds: float = 0.01
+    max_pending: Optional[int] = None
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -67,6 +82,8 @@ class FlushPolicy:
             raise ValueError(
                 f"max_wait_seconds must be >= 0, got {self.max_wait_seconds}"
             )
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
 
 
 class QueryTicket:
@@ -112,8 +129,13 @@ class ServiceMetrics:
         self.queries_total = 0
         self.batches_total = 0
         self.coalesced_queries = 0
+        self.rejected_total = 0
         self.queries_by_kind: Dict[str, int] = {}
         self._latencies: List[float] = []
+
+    def observe_rejection(self) -> None:
+        with self._lock:
+            self.rejected_total += 1
 
     def observe(self, results: Sequence[QueryResult], batches: int) -> None:
         with self._lock:
@@ -202,7 +224,10 @@ class LaplacianService:
 
         Malformed queries (unknown graph, wrong right-hand-side shape,
         out-of-range vertices) are rejected here, before they can coalesce
-        with -- and fail -- other clients' queries in a shared batch.
+        with -- and fail -- other clients' queries in a shared batch.  When
+        ``flush_policy.max_pending`` is set and the queue is full, the
+        submission is shed with :class:`ServiceOverloadedError` (counted in
+        the metrics) instead of growing the queue without bound.
 
         Triggers an inline flush when the pending count reaches
         ``flush_policy.max_batch``; otherwise the background flusher (or the
@@ -211,9 +236,16 @@ class LaplacianService:
         """
         self._validate(query)
         ticket = QueryTicket(query)
+        max_pending = self.flush_policy.max_pending
         with self._lock:
             if self._closed:
                 raise RuntimeError("service is closed")
+            if max_pending is not None and len(self._pending) >= max_pending:
+                self.metrics.observe_rejection()
+                raise ServiceOverloadedError(
+                    f"submission queue is full ({len(self._pending)} pending >= "
+                    f"max_pending={max_pending}); retry after a flush"
+                )
             self._pending.append((query, ticket))
             if self._oldest_pending is None:
                 self._oldest_pending = time.monotonic()
@@ -267,24 +299,55 @@ class LaplacianService:
     def solve_many(
         self, graph_key: str, rhs: Sequence[np.ndarray], eps: float = 1e-6
     ) -> List[LaplacianSolveReport]:
-        """Solve many right-hand sides as one blocked batch."""
-        tickets = [self.submit(solve_query(graph_key, b, eps=eps)) for b in rhs]
+        """Solve many right-hand sides as one blocked batch.
+
+        A bulk call larger than ``flush_policy.max_pending`` must not shed
+        its own tail (the head would be computed and thrown away), so when a
+        submission hits the admission bound the helper drains the queue and
+        re-submits -- the work proceeds in queue-capacity chunks.  A second
+        rejection right after a flush is genuine overload from concurrent
+        producers and propagates.
+        """
+        tickets = []
+        for b in rhs:
+            query = solve_query(graph_key, b, eps=eps)
+            try:
+                tickets.append(self.submit(query))
+            except ServiceOverloadedError:
+                self.flush()
+                tickets.append(self.submit(query))
         self.flush()
         return [t.result().value for t in tickets]
 
-    def effective_resistance(self, graph_key: str, u: int, v: int) -> float:
-        """Effective resistance between two vertices of a registered graph."""
-        return self._submit_and_wait(resistance_query(graph_key, u, v)).value
+    def effective_resistance(
+        self, graph_key: str, u: int, v: int, eta: Optional[float] = None
+    ) -> float:
+        """Effective resistance between two vertices of a registered graph.
+
+        ``eta=None`` demands the exact value.  A float in ``(0, 1)`` accepts
+        a ``(1 +/- eta)``-approximate answer, which lets graphs above the
+        dense-oracle gate serve from the cached JL-sketched oracle in O(k)
+        instead of a triangular solve; below the gate exact answers are
+        served either way.  Approximate queries never share a batch with
+        exact ones.
+        """
+        return self._submit_and_wait(resistance_query(graph_key, u, v, eta=eta)).value
 
     def effective_resistances(
-        self, graph_key: str, pairs: Iterable[Tuple[int, int]]
+        self, graph_key: str, pairs: Iterable[Tuple[int, int]], eta: Optional[float] = None
     ) -> np.ndarray:
-        """Batched effective resistances: one queue entry, one kernel call."""
+        """Batched effective resistances: one queue entry, one kernel call.
+
+        ``eta`` as in :meth:`effective_resistance`; the accuracy bound
+        applies to every pair of the batch.
+        """
         pair_list = list(pairs)
         if not pair_list:
             return np.zeros(0)
         return np.asarray(
-            self._submit_and_wait(resistance_batch_query(graph_key, pair_list)).value
+            self._submit_and_wait(
+                resistance_batch_query(graph_key, pair_list, eta=eta)
+            ).value
         )
 
     def certify(self, graph_key: str, eps: float = 0.5) -> CertificationReport:
@@ -322,6 +385,7 @@ class LaplacianService:
         cache_stats = self.cache.stats
         return {
             "queries_total": self.metrics.queries_total,
+            "rejected_total": self.metrics.rejected_total,
             "batches_total": self.metrics.batches_total,
             "batch_occupancy": self.metrics.batch_occupancy,
             "queries_by_kind": dict(self.metrics.queries_by_kind),

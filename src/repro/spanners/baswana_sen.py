@@ -19,6 +19,17 @@ al. reproduced in Appendix A:
 
 3. Finally every vertex adds the lightest edge towards every adjacent cluster
    of ``R_k``.
+
+Data model: like the probabilistic spanner/sparsify stack, the implementation
+runs on the :class:`~repro.graphs.graph.EdgeView` adjacency -- per-vertex
+``(neighbour, weight, edge_index)`` lists built once, with the set of edges
+still alive tracked as a boolean mask over edge indices.  Removing the edges
+between a vertex and a cluster is then an O(degree) mask update instead of
+per-phase ``Set[Tuple[int, int]]`` rebuilds, and the random stream (one
+uniform per sorted cluster centre per phase, drawn as one bulk
+``rng.random``) is bit-for-bit the stream of the historical per-centre
+implementation -- pinned by ``tests/spanners/test_baswana_sen_equivalence.py``
+the same way the sparsify port is pinned.
 """
 
 from __future__ import annotations
@@ -28,7 +39,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.graphs.graph import WeightedGraph, canonical_edge
+from repro.graphs.graph import EdgeView, WeightedGraph, canonical_edge
 
 
 @dataclass
@@ -44,20 +55,23 @@ class BaswanaSenResult:
 
 
 def _lightest_edge_per_cluster(
-    graph: WeightedGraph,
+    adjacency: List[List[Tuple[int, float, int]]],
     v: int,
     cluster_of: Dict[int, int],
-    alive: Set[Tuple[int, int]],
+    alive: np.ndarray,
 ) -> Dict[int, Tuple[float, int]]:
-    """Map cluster id -> (weight, neighbour) of the lightest alive edge from ``v``."""
+    """Map cluster id -> (weight, neighbour) of the lightest alive edge from ``v``.
+
+    The minimum over ``(weight, neighbour)`` tuples is order-independent, so
+    iterating the adjacency list matches the historical set-iteration result.
+    """
     best: Dict[int, Tuple[float, int]] = {}
-    for u in graph.neighbours(v):
-        if canonical_edge(u, v) not in alive:
+    for u, w, edge_index in adjacency[v]:
+        if not alive[edge_index]:
             continue
         if u not in cluster_of:
             continue
         cluster = cluster_of[u]
-        w = graph.weight(u, v)
         candidate = (w, u)
         if cluster not in best or candidate < best[cluster]:
             best[cluster] = candidate
@@ -94,8 +108,11 @@ def baswana_sen_spanner(
     result = BaswanaSenResult()
     # cluster_of maps a *clustered* vertex to the id (= centre) of its cluster.
     cluster_of: Dict[int, int] = {v: v for v in range(n)}
-    # Edges still alive (not yet implicitly removed by the algorithm).
-    alive: Set[Tuple[int, int]] = {edge.key for edge in graph.edges()}
+    view = EdgeView.from_graph(graph)
+    adjacency = view.adjacency_lists()
+    # Edges still alive (not yet implicitly removed by the algorithm), as a
+    # mask over the base edge indices of the view.
+    alive = np.ones(view.base_m, dtype=bool)
 
     for phase in range(k - 1):
         result.clusters_per_phase.append(dict(cluster_of))
@@ -103,7 +120,9 @@ def baswana_sen_spanner(
         if marking_bits is not None and phase < len(marking_bits):
             marked = {c for c in centres if marking_bits[phase].get(c, False)}
         else:
-            marked = {c for c in centres if rng.random() < mark_probability}
+            # one bulk draw = the same stream as one scalar draw per centre
+            draws = rng.random(len(centres))
+            marked = {c for c, d in zip(centres, draws) if d < mark_probability}
 
         new_cluster_of: Dict[int, int] = {
             v: c for v, c in cluster_of.items() if c in marked
@@ -112,13 +131,13 @@ def baswana_sen_spanner(
         for v in sorted(cluster_of):
             if cluster_of[v] in marked:
                 continue  # vertices of marked clusters do nothing this phase
-            best = _lightest_edge_per_cluster(graph, v, cluster_of, alive)
+            best = _lightest_edge_per_cluster(adjacency, v, cluster_of, alive)
             marked_options = {c: wu for c, wu in best.items() if c in marked}
             if not marked_options:
                 # v leaves the clustering; connect to every adjacent cluster.
                 for cluster, (w, u) in sorted(best.items()):
                     result.spanner_edges.add(canonical_edge(u, v))
-                    _remove_cluster_edges(graph, v, cluster, cluster_of, alive)
+                    _remove_cluster_edges(adjacency, v, cluster, cluster_of, alive)
             else:
                 # join the nearest marked cluster
                 w_join, u_join = min(
@@ -127,19 +146,19 @@ def baswana_sen_spanner(
                 join_cluster = cluster_of[u_join]
                 result.spanner_edges.add(canonical_edge(u_join, v))
                 new_cluster_of[v] = join_cluster
-                _remove_cluster_edges(graph, v, join_cluster, cluster_of, alive)
+                _remove_cluster_edges(adjacency, v, join_cluster, cluster_of, alive)
                 for cluster, (w, u) in sorted(best.items()):
                     if cluster == join_cluster:
                         continue
                     if (w, u) < (w_join, u_join):
                         result.spanner_edges.add(canonical_edge(u, v))
-                        _remove_cluster_edges(graph, v, cluster, cluster_of, alive)
+                        _remove_cluster_edges(adjacency, v, cluster, cluster_of, alive)
         cluster_of = new_cluster_of
 
     # Final step: every vertex connects to each adjacent cluster of R_k.
     result.clusters_per_phase.append(dict(cluster_of))
     for v in range(n):
-        best = _lightest_edge_per_cluster(graph, v, cluster_of, alive)
+        best = _lightest_edge_per_cluster(adjacency, v, cluster_of, alive)
         for cluster, (w, u) in sorted(best.items()):
             if cluster_of.get(v) == cluster:
                 continue  # intra-cluster edges are already covered by the tree
@@ -148,13 +167,13 @@ def baswana_sen_spanner(
 
 
 def _remove_cluster_edges(
-    graph: WeightedGraph,
+    adjacency: List[List[Tuple[int, float, int]]],
     v: int,
     cluster: int,
     cluster_of: Dict[int, int],
-    alive: Set[Tuple[int, int]],
+    alive: np.ndarray,
 ) -> None:
-    """Remove from ``alive`` every edge between ``v`` and the given cluster."""
-    for u in graph.neighbours(v):
+    """Kill every alive edge between ``v`` and the given cluster (mask update)."""
+    for u, _w, edge_index in adjacency[v]:
         if cluster_of.get(u) == cluster:
-            alive.discard(canonical_edge(u, v))
+            alive[edge_index] = False

@@ -8,6 +8,8 @@ from repro.linalg.jl import (
     jl_sketch_dimension,
     kane_nelson_matrix,
     kane_nelson_random_bits,
+    kane_nelson_sketch,
+    resistance_sketch_dimension,
     sample_kane_nelson,
     sketch_preserves_norm,
 )
@@ -79,3 +81,91 @@ class TestKaneNelson:
     def test_zero_vector_preserved(self):
         Q = kane_nelson_matrix(10, 20, seed_bits=3)
         assert sketch_preserves_norm(Q, np.zeros(20), 0.1)
+
+    def test_same_seed_across_vertices(self):
+        """Every vertex expanding the broadcast seed gets the SAME matrix.
+
+        Simulate independent vertices by expanding the seed from fresh
+        processes of the construction, interleaved with unrelated RNG
+        activity -- the expansion must depend on nothing but the seed.
+        """
+        seed_bits = 0xBEEF
+        first = kane_nelson_matrix(12, 30, seed_bits=seed_bits)
+        np.random.default_rng(99).random(1000)  # unrelated draws, other "vertex"
+        second = kane_nelson_matrix(12, 30, seed_bits=seed_bits)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestKaneNelsonSketch:
+    """The sparse-format construction used by the sketched resistance oracle."""
+
+    def test_deterministic_given_seed_across_vertices(self):
+        A = kane_nelson_sketch(16, 40, seed_bits=12345)
+        np.random.default_rng(7).random(512)  # unrelated draws in between
+        B = kane_nelson_sketch(16, 40, seed_bits=12345)
+        np.testing.assert_array_equal(A.toarray(), B.toarray())
+
+    def test_different_seeds_differ(self):
+        A = kane_nelson_sketch(16, 40, seed_bits=1)
+        B = kane_nelson_sketch(16, 40, seed_bits=2)
+        assert not np.array_equal(A.toarray(), B.toarray())
+
+    def test_shape_contract_matches_dense_construction(self):
+        """s distinct nonzeros of +/- 1/sqrt(s) per column, unit column norms."""
+        k, m, s = 25, 300, 5
+        Q = kane_nelson_sketch(k, m, seed_bits=7, column_sparsity=s).toarray()
+        assert Q.shape == (k, m)
+        nnz_per_column = np.count_nonzero(Q, axis=0)
+        np.testing.assert_array_equal(nnz_per_column, s)
+        np.testing.assert_allclose(np.abs(Q[Q != 0]), 1.0 / np.sqrt(s))
+        np.testing.assert_allclose(np.linalg.norm(Q, axis=0), 1.0, atol=1e-12)
+
+    def test_default_column_sparsity_is_sqrt_k(self):
+        Q = kane_nelson_sketch(25, 30, seed_bits=9).toarray()
+        np.testing.assert_array_equal(np.count_nonzero(Q, axis=0), 5)
+
+    def test_sparsity_clamped_to_k(self):
+        Q = kane_nelson_sketch(3, 10, seed_bits=2, column_sparsity=50).toarray()
+        np.testing.assert_array_equal(np.count_nonzero(Q, axis=0), 3)
+
+    def test_norm_preservation_statistics(self):
+        rng = np.random.default_rng(4)
+        m = 300
+        k = resistance_sketch_dimension(m, 0.5)
+        Q = kane_nelson_sketch(min(k, m), m, seed_bits=11)
+        squared_ratios = []
+        for _ in range(50):
+            x = rng.normal(size=m)
+            squared_ratios.append(
+                np.sum((Q @ x) ** 2) / np.sum(x ** 2)
+            )
+        # the squared-norm form is what the resistance oracle relies on
+        assert np.mean(np.abs(np.asarray(squared_ratios) - 1.0) <= 0.5) >= 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kane_nelson_sketch(0, 5, 1)
+        with pytest.raises(ValueError):
+            kane_nelson_sketch(5, 0, 1)
+
+
+class TestResistanceSketchDimension:
+    def test_scales_with_eta(self):
+        assert resistance_sketch_dimension(1000, 0.1) > resistance_sketch_dimension(1000, 0.5)
+
+    def test_scales_with_delta(self):
+        assert resistance_sketch_dimension(1000, 0.5, delta=1e-12) > (
+            resistance_sketch_dimension(1000, 0.5, delta=1e-3)
+        )
+
+    def test_grows_logarithmically_in_m(self):
+        small = resistance_sketch_dimension(100, 0.5)
+        large = resistance_sketch_dimension(10**6, 0.5)
+        assert small < large <= 4 * small
+
+    def test_validation(self):
+        for bad_eta in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                resistance_sketch_dimension(100, bad_eta)
+        with pytest.raises(ValueError):
+            resistance_sketch_dimension(100, 0.5, delta=0.0)

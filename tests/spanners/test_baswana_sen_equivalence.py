@@ -1,0 +1,148 @@
+"""rng-stream equivalence of the EdgeView-native Baswana-Sen port.
+
+The port (per-vertex adjacency lists built once + boolean alive mask) promises
+*bit-identical* outputs to the historical implementation (per-phase
+``Set[Tuple[int, int]]`` alive sets, per-centre scalar coin flips) for any
+seed.  These tests pin that promise by re-implementing the historical
+algorithm verbatim and comparing every output field on seeded graphs -- the
+same methodology as ``tests/sparsify/test_vectorized_equivalence.py``.
+"""
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.graph import WeightedGraph, canonical_edge
+from repro.spanners.baswana_sen import BaswanaSenResult, baswana_sen_spanner
+
+
+# -- historical reference implementation ----------------------------------------
+
+
+def _reference_lightest_edge_per_cluster(graph, v, cluster_of, alive):
+    best: Dict[int, Tuple[float, int]] = {}
+    for u in graph.neighbours(v):
+        if canonical_edge(u, v) not in alive:
+            continue
+        if u not in cluster_of:
+            continue
+        cluster = cluster_of[u]
+        w = graph.weight(u, v)
+        candidate = (w, u)
+        if cluster not in best or candidate < best[cluster]:
+            best[cluster] = candidate
+    return best
+
+
+def _reference_remove_cluster_edges(graph, v, cluster, cluster_of, alive):
+    for u in graph.neighbours(v):
+        if cluster_of.get(u) == cluster:
+            alive.discard(canonical_edge(u, v))
+
+
+def reference_baswana_sen(
+    graph: WeightedGraph,
+    k: int,
+    seed: Optional[int] = None,
+    marking_bits: Optional[List[Dict[int, bool]]] = None,
+) -> BaswanaSenResult:
+    """The pre-port implementation: per-phase alive sets, scalar coin flips."""
+    rng = np.random.default_rng(seed)
+    n = graph.n
+    mark_probability = n ** (-1.0 / k)
+
+    result = BaswanaSenResult()
+    cluster_of: Dict[int, int] = {v: v for v in range(n)}
+    alive: Set[Tuple[int, int]] = {edge.key for edge in graph.edges()}
+
+    for phase in range(k - 1):
+        result.clusters_per_phase.append(dict(cluster_of))
+        centres = sorted(set(cluster_of.values()))
+        if marking_bits is not None and phase < len(marking_bits):
+            marked = {c for c in centres if marking_bits[phase].get(c, False)}
+        else:
+            marked = {c for c in centres if rng.random() < mark_probability}
+
+        new_cluster_of = {v: c for v, c in cluster_of.items() if c in marked}
+
+        for v in sorted(cluster_of):
+            if cluster_of[v] in marked:
+                continue
+            best = _reference_lightest_edge_per_cluster(graph, v, cluster_of, alive)
+            marked_options = {c: wu for c, wu in best.items() if c in marked}
+            if not marked_options:
+                for cluster, (w, u) in sorted(best.items()):
+                    result.spanner_edges.add(canonical_edge(u, v))
+                    _reference_remove_cluster_edges(graph, v, cluster, cluster_of, alive)
+            else:
+                w_join, u_join = min(
+                    ((w, u) for (w, u) in marked_options.values()), key=lambda t: t
+                )
+                join_cluster = cluster_of[u_join]
+                result.spanner_edges.add(canonical_edge(u_join, v))
+                new_cluster_of[v] = join_cluster
+                _reference_remove_cluster_edges(
+                    graph, v, join_cluster, cluster_of, alive
+                )
+                for cluster, (w, u) in sorted(best.items()):
+                    if cluster == join_cluster:
+                        continue
+                    if (w, u) < (w_join, u_join):
+                        result.spanner_edges.add(canonical_edge(u, v))
+                        _reference_remove_cluster_edges(
+                            graph, v, cluster, cluster_of, alive
+                        )
+        cluster_of = new_cluster_of
+
+    result.clusters_per_phase.append(dict(cluster_of))
+    for v in range(n):
+        best = _reference_lightest_edge_per_cluster(graph, v, cluster_of, alive)
+        for cluster, (w, u) in sorted(best.items()):
+            if cluster_of.get(v) == cluster:
+                continue
+            result.spanner_edges.add(canonical_edge(u, v))
+    return result
+
+
+# -- equivalence ----------------------------------------------------------------
+
+
+WORKLOADS = [
+    ("random-40", lambda: generators.random_weighted_graph(40, average_degree=6, max_weight=8, seed=3)),
+    ("erdos-renyi-30", lambda: generators.erdos_renyi(30, 0.4, max_weight=5, seed=5)),
+    ("complete-20", lambda: generators.complete_graph(20)),
+    ("path-25", lambda: generators.path_graph(25)),
+]
+
+
+@pytest.mark.parametrize("name,factory", WORKLOADS)
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_port_matches_reference_bit_for_bit(name, factory, k):
+    graph = factory()
+    for seed in range(4):
+        expected = reference_baswana_sen(graph, k=k, seed=seed)
+        actual = baswana_sen_spanner(graph, k=k, seed=seed)
+        assert actual.spanner_edges == expected.spanner_edges, (name, k, seed)
+        assert actual.clusters_per_phase == expected.clusters_per_phase, (name, k, seed)
+
+
+def test_port_matches_reference_with_marking_bits():
+    graph = generators.random_weighted_graph(30, average_degree=5, seed=11)
+    bits = [{v: v % 3 == 0 for v in range(30)}, {v: v % 5 == 0 for v in range(30)}]
+    expected = reference_baswana_sen(graph, k=3, seed=1, marking_bits=bits)
+    actual = baswana_sen_spanner(graph, k=3, seed=1, marking_bits=bits)
+    assert actual.spanner_edges == expected.spanner_edges
+    assert actual.clusters_per_phase == expected.clusters_per_phase
+
+
+def test_port_matches_reference_on_disconnected_graph():
+    graph = WeightedGraph(12)
+    for u, v, w in [(0, 1, 2.0), (1, 2, 1.0), (3, 4, 5.0), (5, 6, 1.5), (6, 7, 2.5)]:
+        graph.add_edge(u, v, w)
+    for seed in range(3):
+        expected = reference_baswana_sen(graph, k=2, seed=seed)
+        actual = baswana_sen_spanner(graph, k=2, seed=seed)
+        assert actual.spanner_edges == expected.spanner_edges
+        assert actual.clusters_per_phase == expected.clusters_per_phase
