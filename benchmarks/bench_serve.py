@@ -18,6 +18,16 @@ measurements to a ``BENCH_serve.json`` trajectory at the repo root:
   contract, must stay <= eta).  The floor asserted on grid-100x100 is a 5x
   win for the sketched batch over the splu batch -- well under the measured
   two-orders-of-magnitude gain, like the other floors.
+* **repair vs rebuild under mutation** -- a single ``add_edge`` on a
+  registered graph invalidates the whole warm artifact stack; the repair
+  path absorbs it with low-rank updates (Sherman-Morrison on the grounded
+  factorisation and dense oracle, an embedding row-append on any cached
+  sketches, a kappa-preserving edge-add on the solver preprocessing) while
+  the rebuild path pays cold construction again.  The measurement mutates
+  the warm service, times the first post-mutation queries, then clears the
+  cache and times the same queries cold; repaired and rebuilt resistance
+  answers must agree to 1e-8, and the floor asserted on grid-100x100
+  (``n = 10^4``) is a 10x repair win -- the ISSUE 5 acceptance criterion.
 
 Workloads cover the scenario spread: random weighted graphs at
 ``n in {512, 2000}``, a Barabasi-Albert power-law graph, a Watts-Strogatz
@@ -64,6 +74,15 @@ BATCH_SPEEDUP_FLOOR = 3.0
 
 #: asserted floor on grid-100x100: sketched batch vs splu-fallback batch
 SKETCH_VS_SPLU_FLOOR = 5.0
+
+#: asserted floor on grid-100x100: post-mutation repaired path vs cold rebuild
+MUTATION_SPEEDUP_FLOOR = 10.0
+
+#: repaired and rebuilt answers must agree to this on the exact path
+MUTATION_AGREEMENT_ATOL = 1e-8
+
+#: pairs in the post-mutation resistance probe
+MUTATION_PAIRS = 32
 
 #: cache budget for the large-n cases (an eta=0.25 sketch of the 200x200
 #: grid alone weighs ~280 MiB; the default budget would thrash)
@@ -149,6 +168,79 @@ def _measure_eta_sweep(service, key, graph, pairs, exact_values, batched_exact_s
     return sweep
 
 
+def _fresh_edge(graph):
+    """A vertex pair with no edge yet (the mutation the benchmark injects)."""
+    for v in range(graph.n - 1, 0, -1):
+        if not graph.has_edge(0, v):
+            return 0, v
+    raise RuntimeError("graph is complete; no fresh edge to insert")
+
+
+def _measure_mutation(service, key, graph, mode):
+    """Single-edge ``add_edge`` on the warm service: repair vs cold rebuild.
+
+    Runs last in a case, against the fully warmed artifact stack (solver
+    preprocessing, grounded factorisation, dense or sketched oracles).  The
+    repaired timing covers the first post-mutation queries -- which pull the
+    whole repair path -- and the rebuild timing covers the same queries after
+    ``cache.clear()``, i.e. what every mutation used to cost.
+    """
+    rng = np.random.default_rng(44)
+    pairs = [
+        (int(u), int(v))
+        for u, v in zip(
+            rng.integers(0, graph.n, MUTATION_PAIRS),
+            rng.integers(0, graph.n, MUTATION_PAIRS),
+        )
+    ]
+    b = rng.normal(size=graph.n)
+    u, v = _fresh_edge(graph)
+
+    def post_mutation_queries():
+        values = {"resistances": service.effective_resistances(key, pairs)}
+        if mode != "standard":
+            # the sketched regime is this workload's point: the repaired path
+            # appends a row to the cached sketch, the rebuild path pays the
+            # k blocked solves of a fresh one
+            values["sketched"] = service.effective_resistances(
+                key, pairs, eta=ETA_SWEEP[0]
+            )
+        if mode != "sketch-only":
+            values["solution"] = service.solve(key, b, eps=1e-6).solution
+        return values
+
+    repairs_before = service.cache.stats.repairs
+    graph.add_edge(u, v, 1.0)
+    repaired, repaired_seconds = _timed(post_mutation_queries)
+    artifacts_repaired = service.cache.stats.repairs - repairs_before
+
+    service.cache.clear()  # the pre-repair world: every mutation rebuilds
+    rebuilt, rebuild_seconds = _timed(post_mutation_queries)
+
+    agreement = float(
+        np.abs(np.asarray(repaired["resistances"]) - np.asarray(rebuilt["resistances"])).max()
+    )
+    np.testing.assert_allclose(
+        repaired["resistances"],
+        rebuilt["resistances"],
+        rtol=0,
+        atol=MUTATION_AGREEMENT_ATOL,
+    )
+    stats = {
+        "mutation_repaired_seconds": round(repaired_seconds, 4),
+        "mutation_rebuild_seconds": round(rebuild_seconds, 4),
+        "mutation_speedup": round(rebuild_seconds / max(repaired_seconds, 1e-12), 2),
+        "mutation_artifacts_repaired": artifacts_repaired,
+        "mutation_resistance_agreement": agreement,
+    }
+    if mode != "sketch-only":
+        x_rep, x_reb = repaired["solution"], rebuilt["solution"]
+        stats["mutation_solve_rel_diff"] = round(
+            float(np.linalg.norm(x_rep - x_reb) / max(np.linalg.norm(x_reb), 1e-300)), 10
+        )
+    return stats
+
+
 def run_case(name: str, graph, warm_queries: int = WARM_QUERIES, mode: str = "standard") -> dict:
     """Serve one workload; return cold/warm/batched throughput measurements."""
     cache = ArtifactCache(max_bytes=SKETCH_CACHE_BYTES) if mode != "standard" else None
@@ -202,12 +294,15 @@ def run_case(name: str, graph, warm_queries: int = WARM_QUERIES, mode: str = "st
         })
 
     snapshot = service.metrics_snapshot()
-    service.close()
     stats.update({
         "cache_hit_rate": round(snapshot["cache"]["hit_rate"], 4),
         "batch_occupancy": round(snapshot["batch_occupancy"], 2),
         "cache_bytes": snapshot["cache_bytes"],
     })
+    # mutate last: the repair measurement wants the warm stack (and clears
+    # the cache for its rebuild baseline, which would skew the stats above)
+    stats.update(_measure_mutation(service, key, graph, mode))
+    service.close()
     return stats
 
 
@@ -264,6 +359,12 @@ def _print_case(stats):
             f"[sketched eta={stats['eta']}: {stats['sketch_vs_splu_speedup']:.0f}x vs splu, "
             f"max_rel_err {stats['max_rel_error']:.3f}; exact path {stats['batch_speedup_exact']:.1f}x]"
         )
+    if "mutation_speedup" in stats:
+        parts.append(
+            f"[mutate+query: repaired {stats['mutation_repaired_seconds']:.3f}s vs "
+            f"rebuild {stats['mutation_rebuild_seconds']:.3f}s, "
+            f"{stats['mutation_speedup']:.0f}x]"
+        )
     print(" ".join(parts))
 
 
@@ -292,6 +393,11 @@ def main():
         raise SystemExit(
             f"FAIL: sketched resistance batch {grid['sketch_vs_splu_speedup']}x over "
             f"the splu fallback, below floor {SKETCH_VS_SPLU_FLOOR}x on grid-100x100"
+        )
+    if grid["mutation_speedup"] < MUTATION_SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"FAIL: post-mutation repaired path {grid['mutation_speedup']}x over the "
+            f"cold rebuild, below floor {MUTATION_SPEEDUP_FLOOR}x on grid-100x100"
         )
     for case in cases:
         for entry in case.get("eta_sweep", ()):

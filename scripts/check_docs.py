@@ -1,0 +1,145 @@
+"""Documentation gate run by the CI ``docs`` job.
+
+Two checks, both fast and dependency-free beyond the package's own imports:
+
+1. **Markdown link check** -- every relative link target in the repo's
+   markdown files (root-level ``*.md`` and ``docs/*.md``) must resolve to an
+   existing file or directory.  External schemes (``http(s)``, ``mailto``)
+   and pure in-page anchors are skipped; a ``path#anchor`` link is checked
+   for the path part only.
+2. **Docstring gate** -- every public symbol of ``repro.serve`` and
+   ``repro.linalg`` (module, function, class, and the methods/properties a
+   class itself defines) must carry a non-empty docstring.  Public means
+   "not underscore-prefixed"; inherited members are the parent's problem.
+
+Exit code 0 when clean; prints every violation and exits 1 otherwise.
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: packages whose public API the docstring gate walks
+GATED_PACKAGES = ("repro.serve", "repro.linalg")
+
+#: markdown link syntax [text](target); images ![alt](target) match too
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: link targets that are not filesystem paths
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+#: generated retrieval artifacts whose content this repo does not maintain
+SKIP_MARKDOWN = {"PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+
+def markdown_files():
+    for path in sorted(REPO_ROOT.glob("*.md")):
+        if path.name not in SKIP_MARKDOWN:
+            yield path
+    yield from sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def check_markdown_links() -> list:
+    problems = []
+    for md_file in markdown_files():
+        for line_number, line in enumerate(
+            md_file.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for match in LINK_PATTERN.finditer(line):
+                target = match.group(1)
+                if target.startswith(EXTERNAL_SCHEMES) or target.startswith("#"):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                resolved = (md_file.parent / path_part).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{md_file.relative_to(REPO_ROOT)}:{line_number}: "
+                        f"broken link -> {target}"
+                    )
+    return problems
+
+
+def iter_package_modules(package_name: str):
+    package = importlib.import_module(package_name)
+    yield package_name, package
+    for info in pkgutil.iter_modules(package.__path__, prefix=package_name + "."):
+        yield info.name, importlib.import_module(info.name)
+
+
+def has_docstring(obj) -> bool:
+    doc = inspect.getdoc(obj)
+    return bool(doc and doc.strip())
+
+
+def public_module_symbols(module_name: str, module):
+    """Public objects the module itself defines (imports are not its API)."""
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [name for name in vars(module) if not name.startswith("_")]
+    for name in names:
+        obj = vars(module).get(name)
+        if obj is None or not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue
+        yield name, obj
+
+
+def check_class_members(module_name: str, cls, problems: list) -> None:
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue  # dunders/privates; __init__ is covered by the class doc
+        target = None
+        if inspect.isfunction(member):
+            target = member
+        elif isinstance(member, property):
+            target = member.fget
+        elif isinstance(member, (classmethod, staticmethod)):
+            target = member.__func__
+        if target is None:
+            continue
+        if not has_docstring(target):
+            problems.append(
+                f"{module_name}.{cls.__name__}.{name}: missing docstring"
+            )
+
+
+def check_docstrings() -> list:
+    problems = []
+    for package_name in GATED_PACKAGES:
+        for module_name, module in iter_package_modules(package_name):
+            if not has_docstring(module):
+                problems.append(f"{module_name}: missing module docstring")
+            for name, obj in public_module_symbols(module_name, module):
+                if not has_docstring(obj):
+                    problems.append(f"{module_name}.{name}: missing docstring")
+                if inspect.isclass(obj):
+                    check_class_members(module_name, obj, problems)
+    return problems
+
+
+def main() -> int:
+    problems = check_markdown_links() + check_docstrings()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\nFAIL: {len(problems)} documentation problem(s)")
+        return 1
+    print("PASS: markdown links resolve, public API fully docstringed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

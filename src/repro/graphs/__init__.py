@@ -7,7 +7,7 @@ comparisons, and a library of graph generators used by the tests, examples and
 benchmark workloads.
 """
 
-from repro.graphs.graph import Edge, EdgeView, WeightedGraph
+from repro.graphs.graph import Edge, EdgeView, MutationRecord, WeightedGraph
 from repro.graphs.digraph import DirectedEdge, FlowNetwork
 from repro.graphs.laplacian import (
     effective_resistances,
@@ -24,6 +24,7 @@ from repro.graphs import generators
 __all__ = [
     "Edge",
     "EdgeView",
+    "MutationRecord",
     "WeightedGraph",
     "DirectedEdge",
     "FlowNetwork",

@@ -7,10 +7,19 @@ doubles as the O(log n)-bit identifier of the corresponding processor).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
+
+#: Default bound on the per-graph mutation journal (see
+#: :meth:`WeightedGraph.delta_since`).  Repair consumers only ever care about
+#: short deltas -- a delta longer than the serving layer's repair limit forces
+#: a rebuild anyway -- so the journal trades completeness for O(1) memory:
+#: once it overflows, deltas reaching past the retained window report as
+#: unavailable (``None``) instead of growing without bound.
+JOURNAL_LIMIT = 1024
 
 
 def canonical_edge(u: int, v: int) -> Tuple[int, int]:
@@ -48,6 +57,33 @@ class Edge:
         raise ValueError(f"vertex {vertex} is not an endpoint of edge ({self.u}, {self.v})")
 
 
+@dataclass(frozen=True)
+class MutationRecord:
+    """One journal entry: what a single mutator call did to a single edge.
+
+    ``version`` is the graph version *after* the mutation (one
+    :meth:`WeightedGraph.add_edges` call bumps the version once but may emit
+    several records sharing that version).  ``op`` is one of ``"add"`` (a new
+    edge; ``prev_weight`` is ``None``), ``"update"`` (an existing edge
+    reweighted; both weights recorded) or ``"remove"`` (``weight`` is ``None``
+    and ``prev_weight`` is the removed weight).  ``u < v`` is canonical.
+    """
+
+    version: int
+    op: str
+    u: int
+    v: int
+    weight: Optional[float]
+    prev_weight: Optional[float]
+
+    @property
+    def weight_delta(self) -> float:
+        """Signed weight change on the Laplacian: ``w_new - w_old`` (0 for absent)."""
+        new = self.weight if self.weight is not None else 0.0
+        old = self.prev_weight if self.prev_weight is not None else 0.0
+        return new - old
+
+
 class WeightedGraph:
     """An undirected graph with positive edge weights.
 
@@ -63,6 +99,8 @@ class WeightedGraph:
         self._adj: Dict[int, Set[int]] = {v: set() for v in range(self._n)}
         self._edge_arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._version = 0
+        self._journal: Deque[MutationRecord] = deque()
+        self._journal_floor = 0
         if edges is not None:
             for u, v, w in edges:
                 self.add_edge(u, v, w)
@@ -76,11 +114,22 @@ class WeightedGraph:
         if weight <= 0:
             raise ValueError(f"edge weights must be positive, got {weight}")
         key = canonical_edge(u, v)
+        prev = self._weights.get(key)
         self._weights[key] = float(weight)
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._edge_arrays = None
         self._version += 1
+        self._journal_append(
+            MutationRecord(
+                version=self._version,
+                op="add" if prev is None else "update",
+                u=key[0],
+                v=key[1],
+                weight=float(weight),
+                prev_weight=prev,
+            )
+        )
 
     def add_edges(self, u, v, weight=1.0) -> None:
         """Vectorised bulk form of :meth:`add_edge`.
@@ -110,13 +159,38 @@ class WeightedGraph:
             )
         lo = np.minimum(u, v).tolist()
         hi = np.maximum(u, v).tolist()
-        self._weights.update(zip(zip(lo, hi), w.tolist()))
+        weights = w.tolist()
+        self._edge_arrays = None
+        self._version += 1
+        if len(lo) > JOURNAL_LIMIT:
+            # a bulk mutation larger than the journal window cannot be
+            # replayed anyway: drop the journal and mark deltas reaching past
+            # this version as unavailable, instead of paying a per-edge
+            # record on the vectorised path
+            self._journal.clear()
+            self._journal_floor = self._version
+            self._weights.update(zip(zip(lo, hi), weights))
+        else:
+            weight_dict = self._weights
+            version = self._version
+            for a, b, weight in zip(lo, hi, weights):
+                key = (a, b)
+                prev = weight_dict.get(key)
+                weight_dict[key] = weight
+                self._journal_append(
+                    MutationRecord(
+                        version=version,
+                        op="add" if prev is None else "update",
+                        u=a,
+                        v=b,
+                        weight=weight,
+                        prev_weight=prev,
+                    )
+                )
         adj = self._adj
         for a, b in zip(lo, hi):
             adj[a].add(b)
             adj[b].add(a)
-        self._edge_arrays = None
-        self._version += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove the edge ``{u, v}``.
@@ -127,11 +201,21 @@ class WeightedGraph:
         self._check_vertex(u)
         self._check_vertex(v)
         key = canonical_edge(u, v)
-        del self._weights[key]
+        prev = self._weights.pop(key)
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._edge_arrays = None
         self._version += 1
+        self._journal_append(
+            MutationRecord(
+                version=self._version,
+                op="remove",
+                u=key[0],
+                v=key[1],
+                weight=None,
+                prev_weight=prev,
+            )
+        )
 
     def copy(self) -> "WeightedGraph":
         """Deep copy of this graph."""
@@ -139,6 +223,8 @@ class WeightedGraph:
         g._weights = dict(self._weights)
         g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
         g._version = self._version
+        g._journal = deque(self._journal)
+        g._journal_floor = self._journal_floor
         return g
 
     @classmethod
@@ -189,6 +275,28 @@ class WeightedGraph:
         serving them.
         """
         return self._version
+
+    def delta_since(self, version: int) -> Optional[List[MutationRecord]]:
+        """Journal of mutations applied after ``version``, oldest first.
+
+        The serving layer uses this to *diff* two versions of a registered
+        graph instead of refingerprinting: a short delta lets cached artifacts
+        (factorisations, resistance oracles, embeddings) be repaired with
+        low-rank updates rather than rebuilt from scratch.
+
+        Returns ``[]`` when ``version`` is the current version, the list of
+        :class:`MutationRecord` entries with ``record.version > version``
+        otherwise, and ``None`` when the delta cannot be reconstructed -- the
+        requested version lies in the future, or the bounded journal (at most
+        :data:`JOURNAL_LIMIT` records; bulk :meth:`add_edges` calls larger
+        than the window drop it entirely) no longer reaches back that far.
+        ``None`` means "rebuild", never "no change".
+        """
+        if version > self._version:
+            return None
+        if version < self._journal_floor:
+            return None
+        return [record for record in self._journal if record.version > version]
 
     def vertices(self) -> range:
         """Iterable over vertex identifiers."""
@@ -369,6 +477,14 @@ class WeightedGraph:
     def _check_vertex(self, v: int) -> None:
         if not (0 <= v < self._n):
             raise ValueError(f"vertex {v} out of range [0, {self._n})")
+
+    def _journal_append(self, record: MutationRecord) -> None:
+        if len(self._journal) >= JOURNAL_LIMIT:
+            # the oldest record falls off the window: deltas starting before
+            # the *post*-state of that record are no longer reconstructible
+            dropped = self._journal.popleft()
+            self._journal_floor = dropped.version
+        self._journal.append(record)
 
 
 class EdgeView:

@@ -61,6 +61,38 @@ def resistance_sketch_dimension(m: int, eta: float, delta: Optional[float] = Non
     return max(1, math.ceil(2.0 * math.log(2.0 / delta) / gap))
 
 
+def resistance_sketch_eta(k: int, m: int, delta: Optional[float] = None) -> Optional[float]:
+    """Tightest accuracy bound a ``k``-row sketch honours at ambient dimension ``m``.
+
+    The inverse of :func:`resistance_sketch_dimension` in ``eta``: the
+    smallest ``eta`` in ``(0, 1)`` with
+    ``resistance_sketch_dimension(m, eta, delta) <= k``, or ``None`` when
+    even ``eta -> 1`` needs more than ``k`` rows.  The serving layer uses
+    this to *widen* the accuracy bound of a sketched oracle that has been
+    repaired under edge insertion: the repaired embedding is a genuine
+    Kane-Nelson sketch of the mutated graph with the same ``k`` rows but a
+    larger ambient dimension ``m + appended``, so the bound it still honours
+    is exactly this function at the new ambient dimension (the growth is
+    logarithmic -- ``delta`` defaults to ``1/m^2`` -- hence tiny for short
+    deltas).
+    """
+    if k < 1:
+        raise ValueError(f"sketch dimension k must be positive, got {k}")
+    hi = 1.0 - 1e-12
+    if resistance_sketch_dimension(m, hi, delta) > k:
+        return None
+    lo = 1e-12
+    if resistance_sketch_dimension(m, lo, delta) <= k:
+        return lo
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if resistance_sketch_dimension(m, mid, delta) <= k:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
 def achlioptas_matrix(
     k: int, m: int, rng: Optional[np.random.Generator] = None, seed: Optional[int] = None
 ) -> np.ndarray:
@@ -174,6 +206,37 @@ def kane_nelson_sketch(
     data = signs.ravel() / math.sqrt(s)
     cols = np.repeat(np.arange(m, dtype=np.int64), s)
     return sp.coo_matrix((data, (rows.ravel(), cols)), shape=(k, m)).tocsr()
+
+
+def kane_nelson_column(
+    k: int,
+    seed_bits: int,
+    column_index: int,
+    column_sparsity: Optional[int] = None,
+) -> np.ndarray:
+    """One dense Kane-Nelson column for an *appended* ambient coordinate.
+
+    Same per-column distribution as :func:`kane_nelson_sketch` /
+    :func:`kane_nelson_matrix` -- ``s`` distinct rows (default
+    ``ceil(sqrt(k))``) with values ``+/- 1/sqrt(s)`` -- expanded
+    deterministically from ``(seed_bits, column_index)``.  This is the
+    single owner of the column shape for repairs: the sketched resistance
+    oracle appends incidence rows under edge insertion by drawing the new
+    sketch column here, so the built and repaired-in columns can never
+    drift apart if the distribution is ever tuned.  The PRG stream is keyed
+    by the column index, so the draw is independent of the built matrix and
+    of other appended columns.
+    """
+    if k < 1:
+        raise ValueError(f"sketch dimension k must be positive, got {k}")
+    s = column_sparsity if column_sparsity is not None else max(1, math.ceil(math.sqrt(k)))
+    s = min(s, k)
+    prg = np.random.default_rng([int(seed_bits) & ((1 << 63) - 1), int(column_index)])
+    rows = prg.choice(k, size=s, replace=False)
+    signs = prg.integers(0, 2, size=s) * 2 - 1
+    column = np.zeros(k)
+    column[rows] = signs / math.sqrt(s)
+    return column
 
 
 def sample_kane_nelson(

@@ -182,11 +182,13 @@ def approximate_edge_leverage_scores(
 
     if oracle is None:
         oracle = SketchedResistanceOracle(graph, eta=eta, seed=seed)
-    elif not oracle.exact and oracle.eta > eta:
+    elif not oracle.exact and oracle.eta_effective > eta:
         # an identity-sketch (exact) oracle satisfies any eta regardless of
-        # the nominal bound it was requested with
+        # the nominal bound it was requested with; a repaired oracle must be
+        # judged by its widened bound, not the one it was built with
         raise ValueError(
-            f"shared oracle guarantees eta={oracle.eta}, looser than requested {eta}"
+            f"shared oracle guarantees eta={oracle.eta_effective}, "
+            f"looser than requested {eta}"
         )
     return LeverageScoreReport(
         scores=oracle.edge_leverage_scores(graph),

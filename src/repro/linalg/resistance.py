@@ -36,10 +36,14 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 import scipy.sparse as sp
 
+import math
+
 from repro.linalg.jl import (
+    kane_nelson_column,
     kane_nelson_random_bits,
     kane_nelson_sketch,
     resistance_sketch_dimension,
+    resistance_sketch_eta,
 )
 from repro.linalg.sparse_backend import (
     DEFAULT_BATCH_SIZE,
@@ -115,6 +119,14 @@ class SketchedResistanceOracle:
             k = resistance_sketch_dimension(m, eta, delta)
         self.exact = bool(m == 0 or k >= m)
         self.k = m if self.exact else k
+        #: failure probability the sketch was sized for; the repair widening
+        #: must re-solve the dimension bound at the same confidence level
+        self.delta = delta
+        #: ambient dimension currently sketched: the built edge count plus one
+        #: per repaired-in insertion (the accuracy bound widens with it)
+        self._ambient = m
+        self._built_m = m
+        self.appended = 0
         if self.exact:
             # the identity sketch promises *exact* answers, and a tight eta
             # (below float32 rounding) can only reach this branch: store in
@@ -150,8 +162,94 @@ class SketchedResistanceOracle:
             embedding[:, start:stop] = solver.solve_many(block)
         self._embedding = embedding
 
+    @property
+    def eta_effective(self) -> float:
+        """Accuracy bound the oracle honours *now*, repairs included.
+
+        Equal to ``eta`` as built (or ``0.0`` in exact mode, where answers
+        carry no sketching error at all).  Every repaired-in edge
+        (:meth:`append_edge`) grows the ambient dimension by one while the
+        sketch keeps its ``k`` rows, so the bound widens to
+        :func:`repro.linalg.jl.resistance_sketch_eta` at the current ambient
+        dimension -- logarithmically slowly, but honestly: consumers that
+        promised a client ``eta`` must check this value, not ``eta``, after
+        repairs (``inf`` in the pathological case where no bound below 1 is
+        honoured any more).
+        """
+        if self.exact:
+            return 0.0
+        if self._ambient == self._built_m:
+            return self.eta
+        widened = resistance_sketch_eta(self.k, self._ambient, self.delta)
+        if widened is None:
+            return float("inf")
+        return max(self.eta, widened)
+
+    def append_edge(self, u: int, v: int, weight: float, solver) -> bool:
+        """Repair the oracle in place for the *insertion* of edge ``{u, v}``.
+
+        The mutated graph's embedding differs from the stored one by two
+        rank-1 terms, both computable from one triangular solve
+        ``z = L_new^+ (e_u - e_v)`` against ``solver`` -- a grounded solver
+        that must already reflect the mutated graph (the serving layer passes
+        its freshly repaired :class:`RepairableGroundedSolver`):
+
+        * the pseudoinverse moved: ``E -= w z (E[u] - E[v])^T`` by
+          Sherman-Morrison through the stored embedding;
+        * the incidence gained a row: ``E += sqrt(w) z q^T`` with ``q`` a
+          fresh Kane-Nelson column (``s`` rows, ``+/- 1/sqrt(s)``) expanded
+          deterministically from ``(seed_bits, ambient index)``.
+
+        The result is *exactly* the ``k``-row Kane-Nelson-sketched embedding
+        of the mutated graph at ambient dimension ``m + 1``, so the accuracy
+        contract survives with the widened :attr:`eta_effective`; in exact
+        (identity-sketch) mode a new exact column is appended instead and the
+        oracle stays exact.  Returns ``False`` (oracle unchanged) for
+        cross-component insertions, which change the component structure the
+        stored labels encode.  Reweights and removals are not repairable
+        here -- the sketch column of an existing edge is not recoverable --
+        and must rebuild.  Not thread-safe against concurrent queries; the
+        serving layer serialises repairs behind its execute lock.
+        """
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge endpoints out of range [0, {self.n})")
+        if u == v:
+            raise ValueError(f"self-loops are not allowed: ({u}, {v})")
+        weight = float(weight)
+        if weight <= 0:
+            raise ValueError(f"edge weights must be positive, got {weight}")
+        if self._labels[u] != self._labels[v]:
+            return False
+        chi = np.zeros(self.n)
+        chi[u] = 1.0
+        chi[v] = -1.0
+        z = solver.solve(chi)
+        duv = (self._embedding[u] - self._embedding[v]).astype(np.float64, copy=False)
+        sqrt_w = math.sqrt(weight)
+        if self.exact:
+            # identity sketch: the new row of W^{1/2} B gets its own exact
+            # embedding column and every old column is corrected in place
+            updated = self._embedding - weight * np.outer(z, duv)
+            self._embedding = np.concatenate([updated, sqrt_w * z[:, None]], axis=1)
+            self.k += 1
+        else:
+            q = kane_nelson_column(self.k, self.seed_bits, self._ambient)
+            # both corrections share the left factor z, so they fuse into ONE
+            # rank-1 update E += z (sqrt_w q - w duv)^T, applied blockwise in
+            # the storage dtype: at n ~ 4*10^4, k ~ 10^3 a float64 np.outer
+            # would allocate a transient several times the embedding itself
+            row = (sqrt_w * q - weight * duv).astype(self._embedding.dtype)
+            zcol = z.astype(self._embedding.dtype)
+            block = 8192
+            for start in range(0, self.n, block):
+                stop = min(self.n, start + block)
+                self._embedding[start:stop] += np.outer(zcol[start:stop], row)
+        self._ambient += 1
+        self.appended += 1
+        return True
+
     def pair_resistances(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
-        """``(1 +/- eta)``-approximate resistances for arbitrary vertex pairs."""
+        """``(1 +/- eta_effective)``-approximate resistances for arbitrary pairs."""
         u, v = validate_pair_indices(u, v, self.n)
         diff = (self._embedding[u] - self._embedding[v]).astype(np.float64, copy=False)
         resistances = np.einsum("ij,ij->i", diff, diff)

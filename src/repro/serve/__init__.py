@@ -8,15 +8,21 @@ something:
 * :mod:`repro.serve.registry` -- content-fingerprinted graph handles with
   mutation (version) tracking, so stale artifacts are detected, not served.
 * :mod:`repro.serve.artifacts` -- byte-accounted LRU cache of sparsifiers,
-  grounded factorisations and solver preprocessing.
+  grounded factorisations and solver preprocessing, with
+  :meth:`ArtifactCache.repair_graph` migrating a mutated graph's artifacts
+  to its new identity via low-rank repair instead of a rebuild.
 * :mod:`repro.serve.planner` -- coalesces heterogeneous queries into the
   blocked ``solve_many`` / batched effective-resistance kernels, with
   eps-aware routing of resistance queries (exact dense oracle below the
   size gate, JL-sketched oracle for ``eta``-bounded queries above it, splu
-  fallback until a sketch build has amortised).
+  fallback until a sketch build has amortised) and incremental artifact
+  repair for short mutation deltas (Sherman-Morrison on factorisations and
+  the dense oracle, embedding row-appends on the sketched oracle,
+  kappa-preserving sparsifier edge-adds on solver preprocessing).
 * :mod:`repro.serve.service` -- the :class:`LaplacianService` front door:
   thread-safe submission queue, flush policy with admission control
-  (``max_pending`` -> :class:`ServiceOverloadedError`), serving metrics.
+  (``max_pending`` -> :class:`ServiceOverloadedError`), serving metrics,
+  ``repair=`` knob.
 
 Quickstart::
 
@@ -33,6 +39,7 @@ Quickstart::
 
 from repro.serve.artifacts import ArtifactCache, CacheStats, estimate_nbytes
 from repro.serve.planner import (
+    REPAIR_DELTA_LIMIT,
     CertificationReport,
     Query,
     QueryBatch,
@@ -61,6 +68,7 @@ __all__ = [
     "ArtifactCache",
     "CacheStats",
     "estimate_nbytes",
+    "REPAIR_DELTA_LIMIT",
     "CertificationReport",
     "Query",
     "QueryBatch",

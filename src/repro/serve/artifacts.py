@@ -11,7 +11,10 @@ others) and memoised certification reports.
 
 Keys embed the graph's **version** at build time, so a mutated graph can never
 hit an artifact built against its earlier content -- the lookup simply misses
-and the stale entry is swept by :meth:`ArtifactCache.invalidate_graph`.
+and the stale entry is either swept by :meth:`ArtifactCache.invalidate_graph`
+or, when the mutation delta is short enough for low-rank repair, migrated to
+the new ``(fingerprint, version)`` identity by
+:meth:`ArtifactCache.repair_graph`.
 Eviction is LRU over *estimated bytes* (``max_bytes``) and entry count
 (``max_entries``): factorisations of ``n = 10^4`` grids weigh megabytes while
 tiny sparsifiers weigh kilobytes, so counting entries alone would let the
@@ -99,19 +102,23 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    repairs: int = 0
     build_seconds: float = 0.0
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when nothing looked up)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def as_dict(self) -> Dict[str, float]:
+        """Counters as a plain dict (what ``metrics_snapshot`` embeds)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "repairs": self.repairs,
             "hit_rate": self.hit_rate,
             "build_seconds": self.build_seconds,
         }
@@ -143,6 +150,9 @@ class ArtifactCache:
         self._entries: "OrderedDict[Tuple[Hashable, ...], CacheEntry]" = OrderedDict()
         self._total_bytes = 0
         self._lock = threading.RLock()
+        # serialises repair_graph calls (repairs mutate artifacts in place);
+        # separate from _lock so multi-ms repairs never block plain lookups
+        self._repair_lock = threading.Lock()
         self.stats = CacheStats()
 
     @staticmethod
@@ -215,14 +225,115 @@ class ArtifactCache:
             self.stats.invalidations += len(doomed)
             return len(doomed)
 
+    def repair_graph(
+        self,
+        graph_key: str,
+        from_version: int,
+        new_graph_key: str,
+        new_version: int,
+        repair_fn: Callable[[List[CacheEntry]], Dict[Tuple[Hashable, ...], Any]],
+    ) -> Tuple[int, int]:
+        """Migrate a mutated graph's artifacts to its new identity via repair.
+
+        The alternative to :meth:`invalidate_graph` when the registry hands
+        the planner a short :class:`~repro.graphs.graph.MutationRecord` delta.
+        Every entry of ``graph_key`` is first removed from the cache
+        *atomically*; the entries at ``from_version`` are then handed to
+        ``repair_fn`` in one call, which returns a mapping from old cache key
+        to repaired value (typically the same object, mutated in place by
+        low-rank updates) -- omitted entries count as "not repairable,
+        drop".  Survivors are re-inserted under
+        ``(new_graph_key, new_version, kind, params)`` -- the mutated
+        content's fingerprint and version -- with freshly estimated byte
+        sizes; everything else (including entries at versions other than
+        ``from_version``, which the delta does not describe) stays dropped
+        and is counted as an invalidation.
+
+        Returns ``(repaired, dropped)``.  Concurrency: repairs are
+        serialised on a dedicated per-cache mutex, and the old entries are
+        popped *before* ``repair_fn`` runs, so two services sharing one
+        cache can never hand the same artifact to two repair walks (the
+        loser finds no candidates and rebuilds instead of double-applying
+        updates).  ``repair_fn`` runs outside the main lock, like builders,
+        so repairs never block unrelated lookups; a reader that fetched an
+        artifact reference *before* the repair started may still observe the
+        in-place mutation, which is why mutating a registered graph must be
+        fenced from concurrent queries of that graph (see
+        :class:`~repro.serve.service.LaplacianService`).  If a racing thread
+        built an entry under a repaired value's new key first, the racing
+        entry wins, mirroring ``get_or_build``'s adopt-first semantics.
+        """
+        with self._repair_lock:
+            with self._lock:
+                doomed = [
+                    entry
+                    for entry in self._entries.values()
+                    if entry.graph_key == graph_key
+                ]
+                for entry in doomed:
+                    self._remove_locked(entry.key)
+            candidates = [entry for entry in doomed if entry.version == from_version]
+            start = time.perf_counter()
+            survivors = repair_fn(candidates) if candidates else {}
+            repair_seconds = time.perf_counter() - start
+            with self._lock:
+                migrated = 0
+                for entry in candidates:
+                    value = survivors.get(entry.key)
+                    if value is None:
+                        continue
+                    params = entry.key[3]
+                    new_key = self.make_key(
+                        new_graph_key, new_version, entry.kind, params
+                    )
+                    if new_key in self._entries:
+                        continue  # lost a repair/build race: adopt the racing value
+                    self._entries[new_key] = CacheEntry(
+                        key=new_key,
+                        value=value,
+                        nbytes=estimate_nbytes(value),
+                        graph_key=new_graph_key,
+                        version=int(new_version),
+                        kind=entry.kind,
+                        build_seconds=entry.build_seconds,
+                    )
+                    self._total_bytes += self._entries[new_key].nbytes
+                    migrated += 1
+                dropped = len(doomed) - migrated
+                self.stats.repairs += migrated
+                self.stats.invalidations += dropped
+                self.stats.build_seconds += repair_seconds
+                self._evict_locked()
+        return migrated, dropped
+
+    def discard(
+        self, graph_key: str, version: int, kind: str, params: Tuple[Hashable, ...] = ()
+    ) -> bool:
+        """Drop one exact entry if present; returns whether it existed.
+
+        Used by the planner to retire a single artifact whose *contract*
+        drifted -- e.g. a repaired sketched oracle whose widened
+        ``eta_effective`` no longer covers the client's requested bound --
+        without sweeping the graph's other artifacts.
+        """
+        with self._lock:
+            key = self.make_key(graph_key, version, kind, params)
+            if key not in self._entries:
+                return False
+            self._remove_locked(key)
+            self.stats.invalidations += 1
+            return True
+
     def contains(
         self, graph_key: str, version: int, kind: str, params: Tuple[Hashable, ...] = ()
     ) -> bool:
+        """Whether an artifact is cached under this exact identity (no stats)."""
         with self._lock:
             return self.make_key(graph_key, version, kind, params) in self._entries
 
     @property
     def total_bytes(self) -> int:
+        """Estimated resident bytes of every cached artifact combined."""
         with self._lock:
             return self._total_bytes
 
@@ -232,6 +343,7 @@ class ArtifactCache:
             return list(self._entries.values())
 
     def clear(self) -> None:
+        """Drop every entry (stats counters are kept; they are cumulative)."""
         with self._lock:
             self._entries.clear()
             self._total_bytes = 0

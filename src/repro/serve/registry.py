@@ -13,6 +13,11 @@ both questions:
   bumps a monotonic ``_version`` counter; a :class:`RegisteredGraph` remembers
   the version it last saw, so ``entry.is_current()`` detects in O(1) that a
   registered graph was mutated and cached artifacts must not be served.
+  What happens *next* is the planner's choice: the graph's mutation journal
+  (:meth:`WeightedGraph.delta_since` against the remembered version) can
+  describe the drift as a short list of edge mutations, in which case cached
+  artifacts are repaired with low-rank updates and rekeyed to the new
+  fingerprint instead of being rebuilt from scratch.
 
 Fingerprints are sha256 over the exact float bytes: collisions are
 cryptographically improbable, but the registry still *verifies* on every
@@ -153,8 +158,11 @@ class GraphRegistry:
         """Refresh fingerprint/version after a mutation; return drift status.
 
         Returns ``True`` when the graph had been mutated since the entry was
-        last current (the caller must then invalidate version-stale
-        artifacts), ``False`` when nothing changed.
+        last current (the caller must then repair or invalidate
+        version-stale artifacts -- a caller that wants to *diff* the two
+        states must read ``entry.graph.delta_since(entry.version)`` *before*
+        calling this, because revalidation forgets the old version), and
+        ``False`` when nothing changed.
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -191,6 +199,7 @@ class GraphRegistry:
                 del self._by_fingerprint[entry.fingerprint]
 
     def keys(self) -> List[str]:
+        """Snapshot of the registered handles."""
         with self._lock:
             return list(self._entries)
 

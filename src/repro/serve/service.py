@@ -96,6 +96,7 @@ class QueryTicket:
         self._error: Optional[BaseException] = None
 
     def done(self) -> bool:
+        """Whether the query has finished (successfully or with an error)."""
         return self._event.is_set()
 
     def result(self, timeout: Optional[float] = None) -> QueryResult:
@@ -134,10 +135,12 @@ class ServiceMetrics:
         self._latencies: List[float] = []
 
     def observe_rejection(self) -> None:
+        """Count one submission shed by admission control."""
         with self._lock:
             self.rejected_total += 1
 
     def observe(self, results: Sequence[QueryResult], batches: int) -> None:
+        """Fold one flush's results into the counters and latency window."""
         with self._lock:
             self.queries_total += len(results)
             self.batches_total += batches
@@ -150,6 +153,7 @@ class ServiceMetrics:
                 del self._latencies[: len(self._latencies) - self.LATENCY_WINDOW]
 
     def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p90/p99 over the retained window of per-query latencies."""
         with self._lock:
             samples = list(self._latencies)
         if not samples:
@@ -177,6 +181,23 @@ class LaplacianService:
     ``auto_flush=False`` disables the background deadline flusher (useful in
     tests and single-threaded scripts where every public method flushes
     synchronously anyway).
+
+    ``repair=True`` (the default) lets the planner absorb short mutation
+    deltas of a registered graph -- read from the graph's journal via
+    :meth:`~repro.graphs.graph.WeightedGraph.delta_since` -- into the cached
+    artifact stack with low-rank updates instead of rebuilding it from
+    scratch; ``repair=False`` restores unconditional invalidate-and-rebuild.
+    Either way the staleness contract is identical: a query observing a
+    mutated graph is always answered against the *current* content.
+
+    Thread-safety: ``submit``/``flush`` and every synchronous front door may
+    be called from any number of threads; queries are validated at submit
+    time, execution (including artifact repair) is serialised behind one
+    execute lock, and results travel on per-query tickets.  Mutating a
+    registered ``WeightedGraph`` itself is *not* thread-safe against
+    concurrent queries of that graph -- mutate from one thread, or fence
+    mutations with your own lock; the service then detects the version bump
+    on the next flush.
     """
 
     def __init__(
@@ -189,6 +210,7 @@ class LaplacianService:
         bundle_scale: float = 1.0,
         backend: str = "auto",
         auto_flush: bool = True,
+        repair: bool = True,
     ):
         self.registry = registry if registry is not None else GraphRegistry()
         self.cache = cache if cache is not None else ArtifactCache()
@@ -200,6 +222,7 @@ class LaplacianService:
             t_override=t_override,
             bundle_scale=bundle_scale,
             backend=backend,
+            repair_enabled=repair,
         )
         self.metrics = ServiceMetrics()
         self._pending: List[Tuple[Query, QueryTicket]] = []

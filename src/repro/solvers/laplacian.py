@@ -21,7 +21,11 @@ import numpy as np
 from repro.congest.ledger import CommunicationPrimitives, RoundLedger
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.laplacian import laplacian_matrix, laplacian_norm
-from repro.linalg.sparse_backend import GroundedLaplacianSolver, resolve_backend
+from repro.linalg.sparse_backend import (
+    GroundedLaplacianSolver,
+    RepairableGroundedSolver,
+    resolve_backend,
+)
 from repro.sparsify.spectral import SparsifierResult, spectral_sparsify
 from repro.solvers.chebyshev import ChebyshevReport, preconditioned_chebyshev
 
@@ -90,6 +94,40 @@ class SolverPreprocessing:
         if self.B_pinv is not None:
             total += int(self.B_pinv.nbytes)
         return total
+
+    def apply_insertion(self, u: int, v: int, delta_w: float) -> bool:
+        """Repair the artifact for a weight *increase* of edge ``{u, v}``.
+
+        If the input graph gained ``delta_w > 0`` of weight on ``{u, v}`` (a
+        new edge, or an existing one reweighted upward), adding
+        ``delta_w / scale`` to the sparsifier keeps the preconditioner
+        invariant with the *same* ``kappa``: the preconditioner is
+        ``B = scale * L_H``, so the repaired ``B' = B + delta_w chi chi^T``
+        satisfies ``L_G' <= B'`` (the graph gained exactly ``delta_w chi``)
+        and ``B' <= kappa L_G'`` (since ``kappa >= 1``).  The sparsifier's
+        grounded factorisation absorbs the same update through
+        :meth:`RepairableGroundedSolver.apply_update`.
+
+        Returns ``False`` -- artifact unchanged, caller must rebuild -- for
+        non-positive ``delta_w`` (a weight *decrease* or removal can push the
+        sparsifier below the lower spectral bound), for the dense backend
+        (no rank-1 path through the pseudoinverse), or when the grounded
+        update itself refuses (cross-component edge, exhausted budget).  On
+        success ``sparsifier_result`` is cleared: the construction transcript
+        no longer describes the repaired sparsifier, and consumers (the
+        certify path) must not treat it as current.
+        """
+        if delta_w <= 0:
+            return False
+        if self.backend != "sparse" or not isinstance(self.grounded, RepairableGroundedSolver):
+            return False
+        weight = delta_w / self.scale
+        if not self.grounded.apply_update(u, v, weight):
+            return False
+        existing = self.sparsifier.weight(u, v) if self.sparsifier.has_edge(u, v) else 0.0
+        self.sparsifier.add_edge(u, v, existing + weight)
+        self.sparsifier_result = None
+        return True
 
 
 class BCCLaplacianSolver:
@@ -298,7 +336,10 @@ class BCCLaplacianSolver:
                     "sparse backend requires a connected sparsifier "
                     "(a disconnected one cannot precondition a connected graph)"
                 )
-            grounded = GroundedLaplacianSolver(sparsifier)
+            # repairable subclass: identical until the serving layer routes an
+            # edge insertion through apply_insertion, which then absorbs the
+            # mutation as a rank-1 update instead of a refactorisation
+            grounded = RepairableGroundedSolver(sparsifier)
         else:
             B_pinv = np.linalg.pinv(scale * laplacian_matrix(sparsifier, backend="dense"))
         return SolverPreprocessing(

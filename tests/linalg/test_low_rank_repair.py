@@ -1,0 +1,252 @@
+"""Low-rank repair primitives: repaired state == from-scratch rebuild (1e-8).
+
+Covers the three repairable artifact families of the serving layer --
+:class:`RepairableGroundedSolver` (Sherman-Morrison on the grounded ``splu``
+factorisation), :class:`ResistanceOracle.apply_update` (rank-1 on the stored
+grounded inverse) and :class:`SketchedResistanceOracle.append_edge` (embedding
+row-append) -- plus the refusal conditions that force a rebuild: bridge
+removal, cross-component insertion, exhausted update budgets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.graph import WeightedGraph
+from repro.linalg.jl import resistance_sketch_dimension, resistance_sketch_eta
+from repro.linalg.resistance import SketchedResistanceOracle
+from repro.linalg.sparse_backend import (
+    GroundedLaplacianSolver,
+    RepairableGroundedSolver,
+    ResistanceOracle,
+    default_update_budget,
+)
+
+TOL = 1e-8
+
+
+def workloads():
+    return [
+        ("random", generators.random_weighted_graph(240, average_degree=6, seed=3)),
+        ("barabasi-albert", generators.barabasi_albert(240, attach=3, seed=11)),
+        ("watts-strogatz", generators.watts_strogatz(240, k=6, beta=0.2, seed=13)),
+        ("grid", generators.grid_graph(15, 16)),
+    ]
+
+
+def mutate(graph, rng, ops=("add", "update", "remove")):
+    """Apply one random repairable mutation; return (u, v, weight_delta)."""
+    op = rng.choice(ops)
+    if op == "add":
+        while True:
+            u, v = (int(x) for x in rng.integers(0, graph.n, 2))
+            if u != v and not graph.has_edge(u, v):
+                break
+        w = float(rng.uniform(0.5, 2.0))
+        graph.add_edge(u, v, w)
+        return u, v, w
+    edges = graph.edge_list()
+    u, v, w = edges[int(rng.integers(0, len(edges)))]
+    if op == "update":
+        new_w = w + float(rng.uniform(0.1, 1.0))
+        graph.add_edge(u, v, new_w)
+        return u, v, new_w - w
+    graph.remove_edge(u, v)
+    return u, v, -w
+
+
+@pytest.mark.parametrize("name,graph", workloads())
+def test_repaired_solver_matches_rebuild(name, graph):
+    rng = np.random.default_rng(17)
+    solver = RepairableGroundedSolver(graph)
+    applied = 0
+    for _ in range(8):
+        u, v, delta = mutate(graph, rng)
+        if solver.apply_update(u, v, delta):
+            applied += 1
+        else:
+            # a refused mutation (e.g. a bridge removal on the grid) must
+            # leave the solver untouched: undo it on the graph and move on
+            if delta < 0 and not graph.has_edge(u, v):
+                graph.add_edge(u, v, -delta)
+            elif delta > 0 and graph.has_edge(u, v):
+                prev = graph.weight(u, v) - delta
+                if prev > 0:
+                    graph.add_edge(u, v, prev)
+                else:
+                    graph.remove_edge(u, v)
+    assert applied >= 5  # the workloads are dense enough that most ops repair
+    fresh = GroundedLaplacianSolver(graph)
+
+    b = rng.normal(size=graph.n)
+    b -= b.mean()
+    np.testing.assert_allclose(solver.solve(b), fresh.solve(b), atol=TOL)
+
+    B = rng.normal(size=(graph.n, 4))
+    B -= B.mean(axis=0)
+    np.testing.assert_allclose(solver.solve_many(B), fresh.solve_many(B), atol=TOL)
+
+    pu = rng.integers(0, graph.n, 64)
+    pv = rng.integers(0, graph.n, 64)
+    np.testing.assert_allclose(
+        solver.pair_resistances(pu, pv), fresh.pair_resistances(pu, pv), atol=TOL
+    )
+
+
+def test_bridge_removal_is_refused():
+    graph = generators.path_graph(20)
+    solver = RepairableGroundedSolver(graph)
+    # every path edge is a bridge: the Sherman-Morrison denominator vanishes
+    assert not solver.apply_update(5, 6, -1.0)
+    assert solver.updates_applied == 0
+    # the refusal left the solver serving the unmutated graph exactly
+    fresh = GroundedLaplacianSolver(graph)
+    b = np.random.default_rng(0).normal(size=graph.n)
+    b -= b.mean()
+    np.testing.assert_allclose(solver.solve(b), fresh.solve(b), atol=TOL)
+
+
+def test_near_bridge_removal_is_refused_by_conditioning_guard():
+    # two cliques joined by one heavy edge plus one feather-weight edge: the
+    # heavy edge carries essentially all of R(u, v), so removing it drives
+    # the denominator 1 - w R(u, v) to ~0 even though it is not a cut edge
+    graph = generators.barbell_graph(6, 1)
+    u, v = 5, 6
+    feather = 1e-12
+    graph.add_edge(4, 7, feather)
+    solver = RepairableGroundedSolver(graph)
+    assert not solver.apply_update(u, v, -graph.weight(u, v))
+
+
+def test_cross_component_insertion_is_refused():
+    graph = WeightedGraph(6, edges=[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)])
+    solver = RepairableGroundedSolver(graph)
+    assert not solver.apply_update(2, 3, 1.0)  # would merge the components
+    assert solver.apply_update(0, 2, 1.0)  # within-component add is fine
+
+
+def test_update_budget_forces_refusal():
+    graph = generators.random_weighted_graph(64, average_degree=6, seed=1)
+    solver = RepairableGroundedSolver(graph, max_updates=3)
+    rng = np.random.default_rng(2)
+    accepted = 0
+    for _ in range(5):
+        u, v, delta = mutate(graph, rng, ops=("add",))
+        if solver.apply_update(u, v, delta):
+            accepted += 1
+    assert accepted == 3
+    assert solver.update_budget_remaining == 0
+    assert default_update_budget(10_000) == 100  # the O(sqrt(n)) default
+
+
+def test_repaired_solver_nbytes_accounts_for_updates():
+    graph = generators.grid_graph(8, 8)
+    solver = RepairableGroundedSolver(graph)
+    base = solver.nbytes()
+    assert solver.apply_update(0, 9, 1.0)
+    assert solver.nbytes() > base
+
+
+@pytest.mark.parametrize("name,graph", workloads())
+def test_dense_oracle_repair_matches_rebuild(name, graph):
+    rng = np.random.default_rng(23)
+    oracle = ResistanceOracle(graph)
+    applied = 0
+    for _ in range(6):
+        u, v, delta = mutate(graph, rng, ops=("add", "update"))
+        assert oracle.apply_update(u, v, delta)
+        applied += 1
+    assert oracle.repairs_applied == applied
+    fresh = ResistanceOracle(graph)
+    pu = rng.integers(0, graph.n, 64)
+    pv = rng.integers(0, graph.n, 64)
+    np.testing.assert_allclose(
+        oracle.pair_resistances(pu, pv), fresh.pair_resistances(pu, pv), atol=TOL
+    )
+
+
+def test_dense_oracle_refusals():
+    graph = WeightedGraph(4, edges=[(0, 1, 1.0), (2, 3, 1.0)])
+    oracle = ResistanceOracle(graph)
+    assert not oracle.apply_update(1, 2, 1.0)  # cross-component
+    path = generators.path_graph(6)
+    path_oracle = ResistanceOracle(path)
+    assert not path_oracle.apply_update(2, 3, -1.0)  # bridge removal
+    budget = ResistanceOracle(generators.grid_graph(4, 4))
+    budget.max_updates = 1
+    assert budget.apply_update(0, 5, 1.0)
+    assert not budget.apply_update(1, 6, 1.0)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: generators.random_weighted_graph(400, average_degree=8, seed=5),
+        lambda: generators.barabasi_albert(400, attach=4, seed=7),
+        lambda: generators.watts_strogatz(400, k=8, beta=0.2, seed=9),
+        lambda: generators.grid_graph(20, 20),
+    ],
+)
+def test_sketched_append_respects_eta_on_all_pairs(factory):
+    graph = factory()
+    eta = 0.5
+    grounded = RepairableGroundedSolver(graph)
+    oracle = SketchedResistanceOracle(graph, eta=eta, seed=0, grounded=grounded)
+    assert not oracle.exact  # the workloads are big enough to actually sketch
+    rng = np.random.default_rng(31)
+    for _ in range(4):
+        u, v, w = mutate(graph, rng, ops=("add",))
+        assert grounded.apply_update(u, v, w)
+        assert oracle.append_edge(u, v, w, grounded)
+    assert oracle.appended == 4
+    exact = GroundedLaplacianSolver(graph)
+    pu = rng.integers(0, graph.n, 512)
+    pv = rng.integers(0, graph.n, 512)
+    truth = exact.pair_resistances(pu, pv)
+    approx = oracle.pair_resistances(pu, pv)
+    positive = np.isfinite(truth) & (truth > 0)
+    rel = np.abs(approx[positive] - truth[positive]) / truth[positive]
+    assert rel.max() <= oracle.eta_effective
+    np.testing.assert_array_equal(approx[pu == pv], 0.0)
+
+
+def test_sketched_append_exact_mode_stays_exact():
+    graph = generators.path_graph(12)  # k >= m: identity sketch
+    grounded = RepairableGroundedSolver(graph)
+    oracle = SketchedResistanceOracle(graph, eta=0.5, seed=0, grounded=grounded)
+    assert oracle.exact
+    k_before = oracle.k
+    graph.add_edge(0, 7, 1.3)
+    assert grounded.apply_update(0, 7, 1.3)
+    assert oracle.append_edge(0, 7, 1.3, grounded)
+    assert oracle.exact and oracle.k == k_before + 1
+    assert oracle.eta_effective == 0.0
+    fresh = GroundedLaplacianSolver(graph)
+    pu = np.arange(graph.n - 1)
+    pv = np.arange(1, graph.n)
+    np.testing.assert_allclose(
+        oracle.pair_resistances(pu, pv), fresh.pair_resistances(pu, pv), atol=TOL
+    )
+
+
+def test_sketched_append_refuses_cross_component():
+    graph = WeightedGraph(8, edges=[(0, 1, 1.0), (1, 2, 1.0), (4, 5, 1.0), (5, 6, 1.0)])
+    grounded = RepairableGroundedSolver(graph)
+    oracle = SketchedResistanceOracle(graph, eta=0.5, seed=0, grounded=grounded)
+    assert not oracle.append_edge(2, 4, 1.0, grounded)
+    assert oracle.appended == 0
+
+
+def test_eta_effective_widens_with_ambient_dimension():
+    m = 5000
+    eta = 0.25
+    k = resistance_sketch_dimension(m, eta)
+    # the inverse is consistent: at the built ambient dimension the bound is
+    # no looser than eta, and it is monotone in the ambient dimension
+    at_build = resistance_sketch_eta(k, m)
+    assert at_build is not None and at_build <= eta
+    widened = resistance_sketch_eta(k, 2 * m)
+    assert widened is not None and widened >= at_build
+    assert resistance_sketch_dimension(2 * m, widened) <= k
+    # a hopeless k honours no bound at all
+    assert resistance_sketch_eta(1, 10**9) is None
