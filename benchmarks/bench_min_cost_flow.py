@@ -1,10 +1,133 @@
-"""E5 -- exact min-cost max-flow: LP pipeline vs combinatorial baselines (Theorem 1.1)."""
+"""E5 -- exact min-cost max-flow: serving-tier amortisation and LP baselines.
+
+Two families of measurements, appended to a ``BENCH_flow.json`` trajectory at
+the repo root:
+
+* **cold vs warm IPM wall time** -- the first ``min_cost_flow`` on a
+  registered network pays the full pipeline (phase-1 max flow, one ``splu``
+  grounded factorisation per Newton reweight); the second replays the same
+  deterministic weight trajectory against the artifact cache and must hit
+  every factorisation warm.  The asserted CI floor on the headline layered
+  workload is a ``3x`` wall-time speedup.
+* **per-iteration gram-solve cost** -- the bridge's
+  :class:`~repro.lp.gram.GramBridgeStats` trajectory (factorisation count,
+  cache hits, mean/max per-solve seconds) for both runs, the signal that the
+  reweight-delta strategies and the cache are doing the work the wall-time
+  numbers claim.
+
+The classical pytest-benchmark comparisons against the combinatorial
+baselines (networkx, successive shortest paths) are kept below.  Runs as a
+plain script (what CI executes) or as an explicitly named pytest-benchmark
+module (directory collection only picks up ``test_*.py``):
+
+    PYTHONPATH=src python benchmarks/bench_min_cost_flow.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_min_cost_flow.py --benchmark-only
+"""
+
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
 
 import pytest
 
-from repro.flow import min_cost_max_flow, networkx_min_cost_max_flow, successive_shortest_paths
+from repro.flow import (
+    min_cost_max_flow,
+    networkx_min_cost_max_flow,
+    successive_shortest_paths,
+)
 from repro.flow.mincostflow import theorem_round_bound
 from repro.graphs import generators
+from repro.serve import LaplacianService
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_flow.json"
+
+#: sparsifier iteration knob used everywhere (paper constants swallow small n)
+T_OVERRIDE = 2
+
+#: asserted CI floor: warm (cache-served) IPM wall time vs cold on the
+#: headline workload
+WARM_SPEEDUP_FLOOR = 3.0
+
+#: served answers must agree with the combinatorial baseline to this
+EXACTNESS_ATOL = 1e-6
+
+#: the headline workload the floor is asserted on
+HEADLINE_CASE = "layered-10x8"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def make_workloads():
+    """Named seeded flow workloads; the layered DAGs are the paper's framing."""
+    return [
+        ("random-24", lambda: generators.random_flow_network(24, seed=3)),
+        ("layered-6x5", lambda: generators.layered_flow_network(6, 5, seed=3)),
+        ("layered-10x8", lambda: generators.layered_flow_network(10, 8, seed=3)),
+    ]
+
+
+def _gram_summary(result) -> dict:
+    stats = result.gram_stats or {}
+    return {
+        "solves": stats.get("solves", 0),
+        "factorisations": stats.get("factorisations", 0),
+        "cache_hits": stats.get("cache_hits", 0),
+        "gram_seconds": round(stats.get("seconds_total", 0.0), 4),
+        "per_solve_mean_seconds": round(stats.get("per_solve_mean_seconds", 0.0), 6),
+        "per_solve_max_seconds": round(stats.get("per_solve_max_seconds", 0.0), 6),
+    }
+
+
+def run_case(name: str, network) -> dict:
+    """One cold and one warm served solve; exactness checked against networkx."""
+    service = LaplacianService(t_override=T_OVERRIDE)
+    key = service.register(network, name=name)
+
+    cold, cold_seconds = _timed(lambda: service.min_cost_flow(key, seed=0))
+    warm, warm_seconds = _timed(lambda: service.min_cost_flow(key, seed=0))
+
+    value, cost, _ = networkx_min_cost_max_flow(network)
+    exact = (
+        abs(cold.value - value) < EXACTNESS_ATOL
+        and abs(cold.cost - cost) < EXACTNESS_ATOL
+        and abs(warm.value - value) < EXACTNESS_ATOL
+        and abs(warm.cost - cost) < EXACTNESS_ATOL
+    )
+    warm_gram = _gram_summary(warm)
+    service.close()
+    return {
+        "case": name,
+        "n": network.n,
+        "m": network.m,
+        "flow_value": cold.value,
+        "flow_cost": cold.cost,
+        "exact": exact,
+        "lp_iterations": cold.lp_iterations,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_speedup": round(cold_seconds / max(warm_seconds, 1e-12), 2),
+        "warm_all_hits": warm_gram["cache_hits"] == warm_gram["factorisations"],
+        "gram_cold": _gram_summary(cold),
+        "gram_warm": warm_gram,
+    }
+
+
+def append_trajectory(cases) -> None:
+    history = []
+    if TRAJECTORY_PATH.exists():
+        history = json.loads(TRAJECTORY_PATH.read_text())
+    stamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    for case in cases:
+        history.append({"timestamp": stamp, **case})
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+# -- pytest entry points --------------------------------------------------------
 
 
 @pytest.mark.parametrize("n", [8, 16, 32])
@@ -34,3 +157,60 @@ def test_baseline_successive_shortest_paths(benchmark, n):
     benchmark.extra_info["n"] = n
     benchmark.extra_info["flow_value"] = value
     benchmark.extra_info["flow_cost"] = cost
+
+
+@pytest.mark.parametrize("name,factory", make_workloads())
+def test_served_flow_throughput(benchmark, name, factory):
+    network = factory()
+    stats = benchmark.pedantic(lambda: run_case(name, network), iterations=1, rounds=1)
+    for key, value in stats.items():
+        benchmark.extra_info[key] = value
+    assert stats["exact"]
+    assert stats["warm_all_hits"]
+
+
+# -- script entry point ---------------------------------------------------------
+
+
+def _print_case(stats):
+    print(
+        f"{stats['case']:>14} (n={stats['n']}, m={stats['m']}): "
+        f"cold {stats['cold_seconds']:.3f}s, warm {stats['warm_seconds']:.3f}s "
+        f"({stats['warm_speedup']:.1f}x), "
+        f"gram {stats['gram_cold']['gram_seconds']:.3f}s -> "
+        f"{stats['gram_warm']['gram_seconds']:.3f}s "
+        f"({stats['gram_warm']['cache_hits']}/{stats['gram_warm']['factorisations']} hits), "
+        f"exact={stats['exact']}"
+    )
+
+
+def main():
+    cases = []
+    for name, factory in make_workloads():
+        stats = run_case(name, factory())
+        cases.append(stats)
+        _print_case(stats)
+    append_trajectory(cases)
+    by_case = {c["case"]: c for c in cases}
+    for case in cases:
+        if not case["exact"]:
+            raise SystemExit(
+                f"FAIL: {case['case']} served answers disagree with the "
+                f"combinatorial baseline"
+            )
+        if not case["warm_all_hits"]:
+            raise SystemExit(
+                f"FAIL: {case['case']} warm run missed the gram cache "
+                f"({case['gram_warm']['cache_hits']}/{case['gram_warm']['factorisations']})"
+            )
+    headline = by_case[HEADLINE_CASE]
+    if headline["warm_speedup"] < WARM_SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"FAIL: warm IPM speedup {headline['warm_speedup']}x below floor "
+            f"{WARM_SPEEDUP_FLOOR}x on {HEADLINE_CASE}"
+        )
+    print(f"PASS (trajectory appended to {TRAJECTORY_PATH.name})")
+
+
+if __name__ == "__main__":
+    main()

@@ -183,7 +183,18 @@ def solve_lp(
 def min_cost_max_flow(
     network: FlowNetwork,
     seed: Optional[int] = None,
+    service=None,
     **kwargs,
 ) -> MinCostFlowResult:
-    """Exact minimum cost maximum ``s``-``t`` flow (Theorem 1.1)."""
+    """Exact minimum cost maximum ``s``-``t`` flow (Theorem 1.1).
+
+    Pass ``service`` (a :class:`~repro.serve.service.LaplacianService`) to
+    route the solve through the serving tier: the network is registered (a
+    content-level no-op when already registered) and the pipeline consumes
+    cached artifacts -- the phase-1 max flow and every Newton system's gram
+    factorisation -- so repeated solves of the same network run warm.
+    """
+    if service is not None:
+        key = service.register(network)
+        return service.min_cost_flow(key, seed=seed, **kwargs)
     return _min_cost_max_flow(network, seed=seed, **kwargs)

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
 
 from repro.graphs.digraph import FlowNetwork
 from repro.lp.problem import LPProblem
@@ -81,6 +83,7 @@ def build_fixed_value_lp(
     flow_value: float,
     costs: Optional[np.ndarray] = None,
     box_relaxation: float = 0.0,
+    sparse: bool = False,
 ) -> FlowLP:
     """The Section 2.4 formulation ``min q^T x`` s.t. ``B x = F e_t``, ``0 <= x <= c``.
 
@@ -90,6 +93,10 @@ def build_fixed_value_lp(
     point method can start from any feasible flow.  With integral data and a
     tiny ``delta`` the rounded optimum is unaffected (the pipeline validates
     this and falls back to an exact correction otherwise).
+
+    With ``sparse=True`` the incidence matrix is kept in CSR form (two nonzeros
+    per row), which drops the per-Newton-step matvec cost from ``O(m n)`` to
+    ``O(m)`` -- the representation the serving path uses.
     """
     keys = network.edge_keys()
     B = network.incidence_matrix(drop_vertex=network.source)  # m x (n-1)
@@ -100,15 +107,19 @@ def build_fixed_value_lp(
     capacities = network.capacities()
     delta = float(box_relaxation)
 
+    A = sp.csr_matrix(B) if sparse else B
     problem = LPProblem(
-        A=B,
+        A=A,
         b=b,
         c=q,
         lower=-delta * np.ones(network.m),
         upper=capacities + delta,
         name="min-cost-flow(fixed value)",
     )
-    x_ls, *_ = np.linalg.lstsq(B.T, b, rcond=None)
+    if sparse:
+        x_ls = spla.lsqr(sp.csr_matrix(B.T), b, atol=1e-12, btol=1e-12)[0]
+    else:
+        x_ls, *_ = np.linalg.lstsq(B.T, b, rcond=None)
     return FlowLP(
         problem=problem,
         network=network,

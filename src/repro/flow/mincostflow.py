@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -54,6 +54,9 @@ class MinCostFlowResult:
     rounding_fallback: bool = False
     fractional_cost: Optional[float] = None
     ledger: Optional[RoundLedger] = None
+    #: serving statistics of the plugged gram-solver bridge (None off the
+    #: serving path); see :class:`repro.lp.gram.GramBridgeStats.as_dict`.
+    gram_stats: Optional[Dict[str, Any]] = None
 
     def as_integers(self) -> Dict[EdgeKey, int]:
         """The flow with integer values (valid because the result is exact)."""
@@ -108,6 +111,8 @@ def min_cost_max_flow(
     eps_scale: float = 1e-6,
     perturb: bool = True,
     verify_against_baseline: bool = False,
+    gram_solver_factory: Optional[Callable[..., Any]] = None,
+    phase_one: Optional[Tuple[float, Dict[EdgeKey, float]]] = None,
 ) -> MinCostFlowResult:
     """Compute an exact minimum cost maximum ``s``-``t`` flow (Theorem 1.1).
 
@@ -126,6 +131,17 @@ def min_cost_max_flow(
     verify_against_baseline:
         If True, cross-check the result against the successive-shortest-path
         baseline and raise if they disagree (used in tests and experiments).
+    gram_solver_factory:
+        Serving hook: called with the built :class:`FlowLP` and expected to
+        return a ``gram_solver`` callable (typically a
+        :class:`~repro.lp.gram.GramSolverBridge` wired to an artifact cache)
+        that is plugged into the LP before solving.  The LP constraint matrix
+        is kept sparse on this path and the bridge's serving statistics are
+        reported in :attr:`MinCostFlowResult.gram_stats`.
+    phase_one:
+        Optional precomputed ``(max_flow_value, witness_flow)`` pair (a cached
+        serving artifact); the communication ledger is still charged at the
+        theorem bound for fixing ``F*``.
     """
     if engine not in ("barrier", "lee-sidford"):
         raise ValueError(f"unknown engine {engine!r}; use 'barrier' or 'lee-sidford'")
@@ -136,7 +152,16 @@ def min_cost_max_flow(
 
     # Phase 1: the maximum flow value (plus a witnessing, not necessarily
     # cheapest, max flow used as the interior starting point).
-    target_value, witness_flow = _phase_one_max_flow(network, comm)
+    if phase_one is not None:
+        target_value, witness_flow = phase_one
+        target_value = float(round(target_value))
+        comm.ledger.charge(
+            "phase1_max_flow",
+            theorem_round_bound(network.n, max(network.max_capacity(), 2.0)),
+            "flow value fixed via the Section 2.4 binary search (cached witness)",
+        )
+    else:
+        target_value, witness_flow = _phase_one_max_flow(network, comm)
 
     if target_value <= 0:
         zero = network.zero_flow()
@@ -153,8 +178,16 @@ def min_cost_max_flow(
         perturbed = costs.copy()
     box_delta = 1e-3
     flow_lp = build_fixed_value_lp(
-        network, target_value, costs=perturbed, box_relaxation=box_delta
+        network,
+        target_value,
+        costs=perturbed,
+        box_relaxation=box_delta,
+        sparse=gram_solver_factory is not None,
     )
+    bridge = None
+    if gram_solver_factory is not None:
+        bridge = gram_solver_factory(flow_lp)
+        flow_lp.problem.gram_solver = bridge
 
     base = np.array([witness_flow[key] for key in flow_lp.edge_keys])
     interior = base  # strictly inside the relaxed box, satisfies B x = F* e_t
@@ -198,6 +231,9 @@ def min_cost_max_flow(
                 f"cost {cost} vs {base_cost}"
             )
 
+    gram_stats = None
+    if bridge is not None and hasattr(bridge, "stats"):
+        gram_stats = bridge.stats.as_dict()
     return MinCostFlowResult(
         flow=flow,
         value=float(target_value),
@@ -207,4 +243,5 @@ def min_cost_max_flow(
         rounding_fallback=fallback,
         fractional_cost=fractional_cost,
         ledger=ledger,
+        gram_stats=gram_stats,
     )

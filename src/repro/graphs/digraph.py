@@ -54,6 +54,7 @@ class FlowNetwork:
         self.source = int(source)
         self.sink = int(sink)
         self._edges: Dict[Tuple[int, int], DirectedEdge] = {}
+        self._version = 0
         if edges is not None:
             for u, v, capacity, cost in edges:
                 self.add_edge(u, v, capacity, cost)
@@ -66,6 +67,7 @@ class FlowNetwork:
         self._check_vertex(v)
         edge = DirectedEdge(u, v, float(capacity), float(cost))
         self._edges[(u, v)] = edge
+        self._version += 1
 
     def copy(self) -> "FlowNetwork":
         g = FlowNetwork(self._n, self.source, self.sink)
@@ -107,6 +109,29 @@ class FlowNetwork:
     def m(self) -> int:
         """Number of directed edges."""
         return len(self._edges)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (incremented by every :meth:`add_edge`).
+
+        The serving tier's registry uses it for cheap staleness checks, the
+        same contract :class:`~repro.graphs.weighted.WeightedGraph` offers.
+        Flow networks keep no mutation journal, so a stale serve entry is
+        always rebuilt rather than repaired.
+        """
+        return self._version
+
+    def edge_array(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Edge data ``(u, v, capacity, cost)`` in :meth:`edge_keys` order.
+
+        The content-addressed form the serving registry fingerprints.
+        """
+        keys = self.edge_keys()
+        u = np.array([a for a, _ in keys], dtype=np.int64)
+        v = np.array([b for _, b in keys], dtype=np.int64)
+        capacity = np.array([self._edges[k].capacity for k in keys], dtype=float)
+        cost = np.array([self._edges[k].cost for k in keys], dtype=float)
+        return u, v, capacity, cost
 
     def vertices(self) -> range:
         return range(self._n)
@@ -217,6 +242,19 @@ class FlowNetwork:
         return (
             f"FlowNetwork(n={self._n}, m={self.m}, source={self.source}, sink={self.sink})"
         )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FlowNetwork):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self.source == other.source
+            and self.sink == other.sink
+            and self._edges == other._edges
+        )
+
+    # equality is structural, identity-hash keeps networks usable as dict keys
+    __hash__ = object.__hash__
 
     def _check_vertex(self, v: int) -> None:
         if not (0 <= v < self._n):

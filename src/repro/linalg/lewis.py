@@ -26,9 +26,14 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.congest.ledger import CommunicationPrimitives
-from repro.linalg.leverage import approximate_leverage_scores, exact_leverage_scores
+from repro.linalg.leverage import (
+    approximate_edge_leverage_scores,
+    approximate_leverage_scores,
+    exact_leverage_scores,
+)
 
 
 def lewis_p_parameter(m: int) -> float:
@@ -42,10 +47,12 @@ def lewis_regularisation(m: int, n: int) -> float:
     return float(n) / (2.0 * float(m))
 
 
-def _reweighted(M: np.ndarray, w: np.ndarray, p: float) -> np.ndarray:
-    """``W^{1/2 - 1/p} M``."""
-    exponent = 0.5 - 1.0 / p
-    return (w ** exponent)[:, None] * M
+def _reweighted(M, w: np.ndarray, p: float):
+    """``W^{1/2 - 1/p} M`` for dense or scipy-sparse ``M``."""
+    scale = w ** (0.5 - 1.0 / p)
+    if sp.issparse(M):
+        return (sp.diags(scale) @ M).tocsr()
+    return scale[:, None] * M
 
 
 def exact_lewis_weights(
@@ -100,8 +107,8 @@ def apx_weight_iteration_count(p: float, n: int, eta: float) -> int:
 
 
 def compute_apx_weights(
-    M: np.ndarray,
-    p: float,
+    M=None,
+    p: float = 1.0,
     w0: Optional[np.ndarray] = None,
     eta: float = 1e-2,
     rng: Optional[np.random.Generator] = None,
@@ -109,6 +116,8 @@ def compute_apx_weights(
     comm: Optional[CommunicationPrimitives] = None,
     use_sketching: bool = True,
     max_iterations: Optional[int] = None,
+    graph=None,
+    resistance_oracle=None,
 ) -> LewisWeightReport:
     """``ComputeApxWeights(M, p, w0, eta)`` (Algorithm 7).
 
@@ -118,7 +127,9 @@ def compute_apx_weights(
     Parameters
     ----------
     M:
-        The ``m x n`` matrix (in the LP solver, ``M = D A`` for diagonal ``D``).
+        The ``m x n`` matrix (in the LP solver, ``M = D A`` for diagonal
+        ``D``), dense or scipy sparse.  May be ``None`` when ``graph`` is
+        given.
     p:
         Lewis weight exponent, ``p in [1 - 1/log(4m), 2]`` in the LP solver.
     w0:
@@ -128,12 +139,50 @@ def compute_apx_weights(
     use_sketching:
         If True, leverage scores are computed with the JL sketch of Algorithm 6;
         if False, exactly (faster at the tiny sizes of the test suite).
+    graph:
+        Graph mode: a :class:`~repro.graphs.graph.WeightedGraph` whose
+        weighted incidence matrix ``M = W_G^{1/2} B`` is the implicit input.
+        Each fixed-point iteration then reads leverage scores as weighted
+        effective resistances (Spielman-Srivastava) instead of running the
+        generic Algorithm 6 regression loop.
+    resistance_oracle:
+        Serving-tier hook for graph mode: a resident cached
+        :class:`~repro.linalg.resistance.SketchedResistanceOracle` of
+        ``graph``.  Iterates whose row scaling is uniform (the default start
+        is) read their scores straight off the shared oracle -- leverage
+        scores are invariant under uniform row scaling -- so the serving
+        layer's ``k`` embedding solves are never re-paid.  The eta contract
+        is enforced eagerly: a non-exact oracle whose (possibly
+        repair-widened) ``eta_effective`` is looser than the per-iteration
+        leverage accuracy ``min(1/2, eta/4)`` is rejected up front.
     """
-    M = np.asarray(M, dtype=float)
-    m, n = M.shape
     if not (0 < p < 4):
         raise ValueError(f"p must lie in (0, 4), got {p}")
     rng = rng if rng is not None else np.random.default_rng(seed)
+    leverage_eta = min(0.5, eta / 4.0)
+
+    graph_edges = None
+    if graph is not None:
+        if (
+            resistance_oracle is not None
+            and not resistance_oracle.exact
+            and resistance_oracle.eta_effective > leverage_eta
+        ):
+            raise ValueError(
+                f"shared oracle guarantees eta={resistance_oracle.eta_effective}, "
+                f"looser than the per-iteration leverage accuracy {leverage_eta} "
+                f"needed for eta={eta}"
+            )
+        graph_edges = graph.edge_array()
+        m = graph.m
+        # rank of the weighted incidence matrix
+        n = graph.n - len(graph.connected_components())
+    elif sp.issparse(M):
+        M = M.tocsr().astype(float)
+        m, n = M.shape
+    else:
+        M = np.asarray(M, dtype=float)
+        m, n = M.shape
 
     w = np.full(m, n / m, dtype=float) if w0 is None else np.array(w0, dtype=float)
     if np.any(w <= 0):
@@ -150,16 +199,30 @@ def compute_apx_weights(
         iterations = min(iterations, max_iterations)
 
     report = LewisWeightReport(weights=w, iterations=0, p=p)
-    leverage_eta = min(0.5, eta / 4.0)
     for j in range(iterations):
-        reweighted = _reweighted(M, w, p)
-        if use_sketching:
+        if graph is not None:
+            sigma = _graph_iteration_scores(
+                graph,
+                graph_edges,
+                w,
+                p,
+                leverage_eta,
+                use_sketching,
+                resistance_oracle,
+                rng,
+            )
+            report.leverage_calls += 1
+            if comm is not None:
+                comm.laplacian_solve(1.0, "edge leverage scores via resistance oracle")
+        elif use_sketching:
+            reweighted = _reweighted(M, w, p)
             lev = approximate_leverage_scores(
                 reweighted, eta=leverage_eta, rng=rng, comm=comm
             )
             sigma = lev.scores
             report.leverage_calls += 1
         else:
+            reweighted = _reweighted(M, w, p)
             sigma = exact_leverage_scores(reweighted)
             report.leverage_calls += 1
             if comm is not None:
@@ -172,6 +235,57 @@ def compute_apx_weights(
     report.weights = w
     report.rounds = comm.ledger.total_rounds if comm is not None else 0.0
     return report
+
+
+def _graph_iteration_scores(
+    graph,
+    graph_edges,
+    w: np.ndarray,
+    p: float,
+    leverage_eta: float,
+    use_sketching: bool,
+    resistance_oracle,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One fixed-point iteration's leverage scores in graph mode.
+
+    The reweighted matrix is ``W^{1/2-1/p} W_G^{1/2} B``, i.e. the incidence
+    matrix of ``graph`` with edge weights ``w_G * w^{1-2/p}``.  A *uniform*
+    iterate scales every row alike, which leaves leverage scores unchanged --
+    those iterations read straight off the shared base-graph oracle (or build
+    one for the base graph).  Non-uniform iterates genuinely change the
+    spectrum and compute fresh scores on the reweighted graph.
+    """
+    from repro.graphs.graph import WeightedGraph
+
+    u, v, w_graph = graph_edges
+    s2 = w ** (1.0 - 2.0 / p)
+    if np.all(s2 == s2[0]):
+        if resistance_oracle is not None or use_sketching:
+            lev = approximate_edge_leverage_scores(
+                graph,
+                leverage_eta,
+                oracle=resistance_oracle,
+                seed=int(rng.integers(0, 2 ** 31)),
+            )
+            return lev.scores
+        return _exact_edge_leverage_scores(graph)
+    reweighted = WeightedGraph(graph.n)
+    reweighted.add_edges(u, v, w_graph * s2)
+    if use_sketching:
+        lev = approximate_edge_leverage_scores(
+            reweighted, leverage_eta, seed=int(rng.integers(0, 2 ** 31))
+        )
+        return lev.scores
+    return _exact_edge_leverage_scores(reweighted)
+
+
+def _exact_edge_leverage_scores(graph) -> np.ndarray:
+    """Exact edge leverage scores ``w_e R(u, v)`` via the incidence matrix."""
+    from repro.linalg.sparse_backend import incidence_csr
+
+    B, weights = incidence_csr(graph)
+    return exact_leverage_scores(sp.diags(np.sqrt(weights)) @ B)
 
 
 def initial_weight_iteration_count(n: int, m: int, p_target: float) -> int:

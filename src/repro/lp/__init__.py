@@ -19,11 +19,23 @@ solves in ``A^T D A`` are cheap (graph-structured).
   weighted path finding: ``LPSolve``, ``PathFollowing`` and
   ``CenteringInexact`` (Algorithms 9-11) built on regularised Lewis weights and
   the mixed-norm-ball projection.
+* :mod:`repro.lp.gram` -- the SDD Gram-solve machinery of Lemma 5.1:
+  incidence-structure detection, grounded-Laplacian factorisations, and the
+  :class:`GramSolverBridge` that answers Newton systems through the serving
+  tier's artifact cache.
 """
 
 from repro.lp.barriers import BarrierFunction, make_barrier
 from repro.lp.problem import LPProblem, LPSolution
 from repro.lp.barrier_ipm import BarrierIPM, IPMReport
+from repro.lp.gram import (
+    GramBridgeStats,
+    GramFactorisation,
+    GramSolverBridge,
+    IncidenceStructure,
+    detect_incidence_structure,
+    flow_gram_structure,
+)
 from repro.lp.lee_sidford import LeeSidfordSolver, LeeSidfordReport
 
 __all__ = [
@@ -33,6 +45,12 @@ __all__ = [
     "LPSolution",
     "BarrierIPM",
     "IPMReport",
+    "GramBridgeStats",
+    "GramFactorisation",
+    "GramSolverBridge",
+    "IncidenceStructure",
+    "detect_incidence_structure",
+    "flow_gram_structure",
     "LeeSidfordSolver",
     "LeeSidfordReport",
 ]

@@ -106,6 +106,18 @@ class BarrierIPM:
         limit = float(min(np.min(down), np.min(up)))
         return min(alpha, 0.99 * limit)
 
+    def _least_norm_correction(self, residual: np.ndarray) -> np.ndarray:
+        """Minimum-norm ``delta`` with ``A^T delta = residual``.
+
+        ``delta = A (A^T A)^{-1} residual`` -- one unweighted Gram solve, so it
+        reuses whatever backend (sparse grounded Laplacian, serving bridge)
+        ``solve_gram`` is wired to, and works for sparse ``A`` where
+        ``np.linalg.lstsq`` would not.
+        """
+        problem = self.problem
+        ones = np.ones(problem.m)
+        return problem.A @ problem.solve_gram(ones, residual)
+
     def _restore_equality(self, x: np.ndarray) -> np.ndarray:
         """Project ``x`` back onto ``A^T x = b`` (least-squares correction).
 
@@ -116,8 +128,7 @@ class BarrierIPM:
         residual = self.problem.equality_residual(x)
         if float(np.linalg.norm(residual, ord=np.inf)) < 1e-13:
             return x
-        correction, *_ = np.linalg.lstsq(self.problem.A.T, residual, rcond=None)
-        corrected = x - correction
+        corrected = x - self._least_norm_correction(residual)
         barrier = self.problem.barrier()
         return corrected if barrier.contains(corrected) else x
 
@@ -135,8 +146,9 @@ class BarrierIPM:
             residual = problem.equality_residual(best)
             if float(np.linalg.norm(residual, ord=np.inf)) < 1e-10:
                 break
-            correction, *_ = np.linalg.lstsq(problem.A.T, residual, rcond=None)
-            best = np.clip(best - correction, problem.lower, problem.upper)
+            best = np.clip(
+                best - self._least_norm_correction(residual), problem.lower, problem.upper
+            )
         return best
 
     def _center(

@@ -34,6 +34,7 @@ from repro.congest.ledger import CommunicationPrimitives
 from repro.linalg.lewis import compute_apx_weights, lewis_p_parameter, lewis_regularisation
 from repro.linalg.mixed_ball import project_mixed_ball
 from repro.lp.barriers import BarrierFunction
+from repro.lp.gram import scale_rows
 from repro.lp.problem import LPProblem, LPSolution
 
 
@@ -144,7 +145,7 @@ class LeeSidfordSolver:
         v = (t * cost + w * phi1) / (w * sqrt_phi2)
         # A_x = (Phi'')^{-1/2} A ; the projection matrix is
         # P = I - W^{-1} A_x (A_x^T W^{-1} A_x)^{-1} A_x^T
-        A_x = problem.A / sqrt_phi2[:, None]
+        A_x = scale_rows(problem.A, 1.0 / sqrt_phi2)
         d = 1.0 / (w * phi2)  # diagonal of (Phi'')^{-1/2} W^{-1} (Phi'')^{-1/2}
         rhs = A_x.T @ v
         y = problem.solve_gram(d, rhs)
@@ -168,7 +169,7 @@ class LeeSidfordSolver:
         """Lines 4-6 of CenteringInexact: move ``log w`` towards the new Lewis weights."""
         constants = self.constants
         phi2 = barrier.hessian(x_new)
-        A_xnew = self.problem.A / np.sqrt(phi2)[:, None]
+        A_xnew = scale_rows(self.problem.A, 1.0 / np.sqrt(phi2))
         target_eta = min(0.5, math.expm1(constants.R))
         weights_report = compute_apx_weights(
             A_xnew,
@@ -283,7 +284,7 @@ class LeeSidfordSolver:
         # initial regularised Lewis weights at x0
         if self.reweight:
             phi2 = barrier.hessian(np.asarray(x0, dtype=float))
-            A_x0 = problem.A / np.sqrt(phi2)[:, None]
+            A_x0 = scale_rows(problem.A, 1.0 / np.sqrt(phi2))
             init = compute_apx_weights(
                 A_x0,
                 self.constants.p,

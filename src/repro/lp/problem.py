@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.lp.barriers import BarrierFunction, make_barrier
 
@@ -33,7 +34,10 @@ class LPProblem:
     name: str = "lp"
 
     def __post_init__(self):
-        self.A = np.asarray(self.A, dtype=float)
+        if sp.issparse(self.A):
+            self.A = self.A.tocsr().astype(float)
+        else:
+            self.A = np.asarray(self.A, dtype=float)
         self.b = np.asarray(self.b, dtype=float)
         self.c = np.asarray(self.c, dtype=float)
         self.lower = np.asarray(self.lower, dtype=float)
@@ -98,14 +102,24 @@ class LPProblem:
         return max(1.0, *candidates)
 
     def solve_gram(self, d: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        """Solve ``(A^T D A) y = rhs`` with the diagonal ``D = diag(d)``."""
+        """Solve ``(A^T D A) y = rhs`` with the diagonal ``D = diag(d)``.
+
+        Without a plugged ``gram_solver`` the default backend is chosen once
+        per problem from the structure of ``A``: incidence-structured or
+        sparse matrices (Lemma 5.1) route through the sparse grounded
+        Laplacian; the rest use a dense solve with an in-place ridge (a tiny
+        ridge keeps nearly singular Gram matrices solvable; the LP
+        formulations used here always have full column rank).
+        """
         if self.gram_solver is not None:
             return self.gram_solver(d, rhs)
-        gram = self.A.T @ (d[:, None] * self.A)
-        # a tiny ridge keeps nearly singular Gram matrices (rank-deficient A)
-        # solvable; the LP formulations used here always have full column rank.
-        ridge = 1e-12 * max(1.0, float(np.trace(gram)) / max(1, gram.shape[0]))
-        return np.linalg.solve(gram + ridge * np.eye(gram.shape[0]), rhs)
+        fallback = self.__dict__.get("_gram_fallback")
+        if fallback is None:
+            from repro.lp.gram import default_gram_solver
+
+            fallback = default_gram_solver(self.A)
+            self.__dict__["_gram_fallback"] = fallback
+        return fallback(d, rhs)
 
 
 @dataclass

@@ -46,6 +46,8 @@ from repro.serve.planner import (
     QueryPlanner,
     QueryResult,
     certify_query,
+    flow_query,
+    gram_query,
     resistance_batch_query,
     resistance_query,
     solve_query,
@@ -78,6 +80,8 @@ __all__ = [
     "resistance_query",
     "resistance_batch_query",
     "certify_query",
+    "flow_query",
+    "gram_query",
     "FingerprintCollisionError",
     "GraphRegistry",
     "RegisteredGraph",

@@ -37,20 +37,25 @@ from typing import Callable, Dict, List, Optional
 from repro.graphs.graph import WeightedGraph
 
 
-def graph_fingerprint(graph: WeightedGraph) -> str:
-    """Content fingerprint: sha256 over ``(n, u, v, w)`` in canonical order.
+def graph_fingerprint(graph) -> str:
+    """Content fingerprint: sha256 over the canonical edge columns.
 
     Two graphs receive the same fingerprint iff they have the same vertex
-    count and exactly the same weighted edge set (up to float bit patterns),
-    independent of insertion order -- :meth:`WeightedGraph.edge_array` already
-    sorts canonically.
+    count and exactly the same edge data (up to float bit patterns),
+    independent of insertion order -- ``edge_array`` already sorts
+    canonically.  Works for any graph type exposing ``n`` and ``edge_array()``
+    (``WeightedGraph`` returns ``(u, v, w)``,
+    :class:`~repro.graphs.digraph.FlowNetwork` adds capacity/cost columns and
+    source/sink terminals, which are hashed too).
     """
-    u, v, w = graph.edge_array()
     digest = hashlib.sha256()
     digest.update(str(graph.n).encode("ascii"))
-    digest.update(u.tobytes())
-    digest.update(v.tobytes())
-    digest.update(w.tobytes())
+    for column in graph.edge_array():
+        digest.update(column.tobytes())
+    for terminal in ("source", "sink"):
+        value = getattr(graph, terminal, None)
+        if value is not None:
+            digest.update(f"{terminal}={value}".encode("ascii"))
     return digest.hexdigest()
 
 
@@ -83,13 +88,13 @@ class GraphRegistry:
     before rebuilding artifacts for a drifted graph.
     """
 
-    def __init__(self, fingerprint_fn: Callable[[WeightedGraph], str] = graph_fingerprint):
+    def __init__(self, fingerprint_fn: Callable[..., str] = graph_fingerprint):
         self._fingerprint = fingerprint_fn
         self._entries: Dict[str, RegisteredGraph] = {}
         self._by_fingerprint: Dict[str, str] = {}  # fingerprint -> handle
         self._lock = threading.RLock()
 
-    def register(self, graph: WeightedGraph, name: Optional[str] = None) -> str:
+    def register(self, graph, name: Optional[str] = None) -> str:
         """Register ``graph``; return its handle.
 
         Registering content that is already present deduplicates: the

@@ -31,6 +31,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.graphs.digraph import FlowNetwork
 from repro.graphs.graph import WeightedGraph
 from repro.serve.artifacts import ArtifactCache
 from repro.serve.planner import (
@@ -39,6 +40,8 @@ from repro.serve.planner import (
     QueryPlanner,
     QueryResult,
     certify_query,
+    flow_query,
+    gram_query,
     resistance_batch_query,
     resistance_query,
     solve_query,
@@ -236,8 +239,14 @@ class LaplacianService:
 
     # -- registration ----------------------------------------------------------
 
-    def register(self, graph: WeightedGraph, name: Optional[str] = None) -> str:
-        """Register ``graph`` and return its stable query handle."""
+    def register(self, graph, name: Optional[str] = None) -> str:
+        """Register a graph and return its stable query handle.
+
+        Accepts the undirected :class:`~repro.graphs.graph.WeightedGraph`
+        (solve/resistance/certify workloads) and the directed
+        :class:`~repro.graphs.digraph.FlowNetwork` (flow/gram workloads);
+        both are content-fingerprinted the same way.
+        """
         return self.registry.register(graph, name=name)
 
     # -- asynchronous submission -----------------------------------------------
@@ -377,6 +386,51 @@ class LaplacianService:
         """Certify the cached sparsifier of the graph (Definition 2.1)."""
         return self._submit_and_wait(certify_query(graph_key, eps=eps)).value
 
+    def min_cost_flow(
+        self,
+        graph_key: str,
+        engine: str = "barrier",
+        seed: Optional[int] = None,
+        eps_scale: float = 1e-6,
+        perturb: bool = True,
+    ):
+        """Exact min-cost max-flow of a registered :class:`FlowNetwork`.
+
+        The pipeline consumes cached serving artifacts -- the phase-1 max
+        flow and the gram (``A^T D A``) factorisations of every Newton step
+        -- so repeated solves on the same network run against warm
+        preprocessing.  Returns the same
+        :class:`~repro.flow.mincostflow.MinCostFlowResult` as the direct
+        path, with :attr:`~repro.flow.mincostflow.MinCostFlowResult.gram_stats`
+        describing how the bridge served the run.
+        """
+        return self._submit_and_wait(
+            flow_query(
+                graph_key,
+                engine=engine,
+                seed=seed,
+                eps_scale=eps_scale,
+                perturb=perturb,
+            )
+        ).value
+
+    def solve_gram(
+        self,
+        graph_key: str,
+        d: np.ndarray,
+        rhs: np.ndarray,
+        formulation: str = "fixed-value",
+    ) -> np.ndarray:
+        """One ``(A^T D A) y = rhs`` solve of the registered network's flow LP.
+
+        ``d`` is the positive Newton diagonal over the LP rows, ``rhs`` a
+        vector over the non-source vertices; the answer comes off the cached
+        grounded ``splu`` factorisation family of Lemma 5.1.
+        """
+        return self._submit_and_wait(
+            gram_query(graph_key, d, rhs, formulation=formulation)
+        ).value
+
     def _submit_and_wait(self, query: Query) -> QueryResult:
         ticket = self.submit(query)
         self.flush()
@@ -400,6 +454,32 @@ class LaplacianService:
                 int(min(u.min(), v.min())) < 0 or int(max(u.max(), v.max())) >= n
             ):
                 raise ValueError(f"pair endpoints out of range [0, {n})")
+        elif query.kind in ("flow", "gram"):
+            if not isinstance(entry.graph, FlowNetwork):
+                raise ValueError(
+                    f"{query.kind!r} queries need a registered FlowNetwork, "
+                    f"got {type(entry.graph).__name__}"
+                )
+            if query.kind == "gram":
+                m = entry.graph.m
+                rows = (
+                    m
+                    if query.payload["formulation"] == "fixed-value"
+                    else m + 2 * (n - 1) + 1
+                )
+                d = query.payload["d"]
+                rhs = query.payload["rhs"]
+                if d.shape != (rows,):
+                    raise ValueError(
+                        f"gram diagonal must have shape ({rows},) for the "
+                        f"{query.payload['formulation']} formulation, got {d.shape}"
+                    )
+                if rhs.shape != (n - 1,):
+                    raise ValueError(
+                        f"gram right-hand side must have shape ({n - 1},), got {rhs.shape}"
+                    )
+                if np.any(d <= 0.0):
+                    raise ValueError("gram diagonal must be strictly positive")
 
     # -- metrics / lifecycle ---------------------------------------------------
 

@@ -81,7 +81,8 @@ class TestDiagnostics:
 
 
 class TestLeeSidfordEngine:
-    @pytest.mark.slow  # ~5 minutes: runs the faithful LP engine end to end
+    @pytest.mark.slow  # ~4 minutes (re-measured): the Lee-Sidford engine's cost
+    # is the Lewis-weight fixed point, which the gram serving path does not touch
     def test_small_instance_with_faithful_engine(self):
         net = generators.random_flow_network(7, seed=7, max_capacity=4, max_cost=3)
         result = min_cost_max_flow(net, engine="lee-sidford", seed=7, verify_against_baseline=True)

@@ -1,0 +1,145 @@
+"""Flow and gram queries through the serving tier (fast end-to-end path)."""
+
+import numpy as np
+import pytest
+
+from repro.core import api
+from repro.flow.lp_formulation import build_fixed_value_lp
+from repro.flow.mincostflow import min_cost_max_flow
+from repro.graphs import generators
+from repro.serve import LaplacianService
+
+
+@pytest.fixture
+def network():
+    return generators.random_flow_network(9, seed=5)
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("t_override", 2)
+    return LaplacianService(**kwargs)
+
+
+class TestServedFlow:
+    def test_served_flow_matches_direct_path(self, network):
+        direct = min_cost_max_flow(network, seed=0)
+        service = make_service()
+        served = api.min_cost_max_flow(network, seed=0, service=service)
+        assert served.value == pytest.approx(direct.value, abs=1e-8)
+        assert served.cost == pytest.approx(direct.cost, abs=1e-8)
+        for key, value in direct.flow.items():
+            assert served.flow[key] == pytest.approx(value, abs=1e-8)
+        assert served.gram_stats is not None
+        assert served.gram_stats["solves"] > 0
+
+    def test_warm_run_hits_gram_cache(self, network):
+        service = make_service()
+        key = service.register(network)
+        cold = service.min_cost_flow(key, seed=0)
+        warm = service.min_cost_flow(key, seed=0)
+        assert warm.value == pytest.approx(cold.value, abs=1e-8)
+        assert warm.cost == pytest.approx(cold.cost, abs=1e-8)
+        # the deterministic rerun replays the same weight trajectory, so every
+        # factorisation (and the phase-1 max flow) comes out of the cache
+        assert warm.gram_stats["factorisations"] > 0
+        assert warm.gram_stats["cache_hits"] == warm.gram_stats["factorisations"]
+        assert cold.gram_stats["cache_hits"] < cold.gram_stats["factorisations"]
+        kinds = service.metrics_snapshot()["queries_by_kind"]
+        assert kinds.get("flow") == 2
+
+    def test_registering_same_content_twice_shares_artifacts(self, network):
+        service = make_service()
+        api.min_cost_max_flow(network, seed=0, service=service)
+        clone = generators.random_flow_network(9, seed=5)
+        warm = api.min_cost_max_flow(clone, seed=0, service=service)
+        assert warm.gram_stats["cache_hits"] == warm.gram_stats["factorisations"]
+
+    def test_mutated_network_is_not_served_stale(self, network):
+        service = make_service()
+        key = service.register(network)
+        before = service.min_cost_flow(key, seed=0)
+        # overwrite the direct source->sink edge with a much smaller capacity:
+        # the maximum flow value genuinely changes
+        network.add_edge(network.source, network.sink, capacity=2.0, cost=100.0)
+        after = service.min_cost_flow(key, seed=0)
+        direct = min_cost_max_flow(network, seed=0)
+        assert after.value == pytest.approx(direct.value, abs=1e-8)
+        assert after.cost == pytest.approx(direct.cost, abs=1e-8)
+        assert after.value != pytest.approx(before.value, abs=1e-8)
+
+
+class TestGramFrontDoor:
+    def test_solve_gram_matches_dense_reference(self, network, rng):
+        service = make_service()
+        key = service.register(network)
+        A = np.asarray(build_fixed_value_lp(network, flow_value=1.0).problem.A)
+        d = rng.uniform(0.5, 2.0, size=network.m)
+        rhs = rng.normal(size=network.n - 1)
+        y = service.solve_gram(key, d, rhs)
+        np.testing.assert_allclose(
+            y, np.linalg.solve(A.T @ (d[:, None] * A), rhs), atol=1e-8
+        )
+
+    def test_gram_queries_share_the_flow_solve_cache(self, network, rng):
+        service = make_service()
+        key = service.register(network)
+        service.min_cost_flow(key, seed=0)
+        hits_before = service.cache.stats.hits
+        d = np.ones(network.m)
+        service.solve_gram(key, d, rng.normal(size=network.n - 1))
+        # the structure artifact is shared; a repeated diagonal also shares
+        # the factorisation itself
+        service.solve_gram(key, d, rng.normal(size=network.n - 1))
+        assert service.cache.stats.hits > hits_before
+
+
+class TestValidation:
+    def test_flow_query_needs_a_flow_network(self, small_graph):
+        service = make_service()
+        key = service.register(small_graph)
+        with pytest.raises(ValueError, match="FlowNetwork"):
+            service.min_cost_flow(key)
+        with pytest.raises(ValueError, match="FlowNetwork"):
+            service.solve_gram(
+                key, np.ones(small_graph.m), np.zeros(small_graph.n - 1)
+            )
+
+    def test_gram_shape_and_sign_rejections(self, network, rng):
+        service = make_service()
+        key = service.register(network)
+        good_d = np.ones(network.m)
+        good_rhs = np.zeros(network.n - 1)
+        with pytest.raises(ValueError, match="diagonal must have shape"):
+            service.solve_gram(key, np.ones(network.m + 1), good_rhs)
+        with pytest.raises(ValueError, match="right-hand side"):
+            service.solve_gram(key, good_d, np.zeros(network.n))
+        with pytest.raises(ValueError, match="strictly positive"):
+            bad = good_d.copy()
+            bad[0] = 0.0
+            service.solve_gram(key, bad, good_rhs)
+        with pytest.raises(ValueError, match="formulation"):
+            service.solve_gram(key, good_d, good_rhs, formulation="newton")
+
+    def test_section5_gram_shape_is_the_augmented_row_count(self, network, rng):
+        service = make_service()
+        key = service.register(network)
+        rows = network.m + 2 * (network.n - 1) + 1
+        y = service.solve_gram(
+            key,
+            rng.uniform(0.5, 2.0, size=rows),
+            rng.normal(size=network.n - 1),
+            formulation="section5",
+        )
+        assert y.shape == (network.n - 1,)
+        with pytest.raises(ValueError, match="diagonal must have shape"):
+            service.solve_gram(
+                key,
+                np.ones(network.m),
+                np.zeros(network.n - 1),
+                formulation="section5",
+            )
+
+    def test_unknown_key_raises(self):
+        service = make_service()
+        with pytest.raises(KeyError):
+            service.min_cost_flow("nope")

@@ -1,0 +1,94 @@
+"""Lewis weights in graph mode against a resident serving-tier oracle."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import generators
+from repro.linalg.lewis import compute_apx_weights
+from repro.linalg.resistance import SketchedResistanceOracle
+from repro.linalg.sparse_backend import incidence_csr
+
+
+@pytest.fixture
+def graph():
+    return generators.random_weighted_graph(14, average_degree=4, seed=9)
+
+
+def weighted_incidence(graph):
+    B, w = incidence_csr(graph)
+    return np.asarray((sp.diags(np.sqrt(w)) @ B).todense())
+
+
+class TestOracleBackedLewisWeights:
+    @pytest.mark.parametrize("p", [1.0, 1.5])
+    def test_resident_oracle_agrees_with_exact_matrix_path(self, graph, p):
+        eta = 1e-2
+        reference = compute_apx_weights(
+            M=weighted_incidence(graph), p=p, eta=eta, use_sketching=False, seed=0
+        ).weights
+        oracle = SketchedResistanceOracle(graph, eta=0.3, k_override=graph.m)
+        assert oracle.exact  # identity sketch: exact answers, any eta honoured
+        served = compute_apx_weights(
+            graph=graph,
+            resistance_oracle=oracle,
+            p=p,
+            eta=eta,
+            use_sketching=False,
+            seed=0,
+        ).weights
+        # both runs promise a multiplicative eta approximation of the true
+        # Lewis weights, so they agree within the eta contract
+        assert np.max(np.abs(served - reference) / reference) <= eta
+
+    def test_graph_mode_without_oracle_matches_matrix_path(self, graph):
+        eta = 1e-2
+        reference = compute_apx_weights(
+            M=weighted_incidence(graph), p=1.0, eta=eta, use_sketching=False, seed=0
+        ).weights
+        graph_mode = compute_apx_weights(
+            graph=graph, p=1.0, eta=eta, use_sketching=False, seed=0
+        ).weights
+        assert np.max(np.abs(graph_mode - reference) / reference) <= eta
+
+    def test_loose_oracle_rejected_up_front(self, graph):
+        # a genuinely sketched oracle whose guarantee (eta_effective = 0.3)
+        # is looser than the per-iteration leverage accuracy min(1/2, eta/4)
+        oracle = SketchedResistanceOracle(graph, eta=0.3, k_override=4)
+        assert not oracle.exact
+        assert oracle.eta_effective == 0.3
+        with pytest.raises(ValueError, match="looser"):
+            compute_apx_weights(graph=graph, resistance_oracle=oracle, eta=1e-2)
+
+    def test_loose_oracle_accepted_when_eta_budget_allows(self, graph):
+        # the same nominal oracle guarantee is fine for a coarse target:
+        # eta = 0.9 needs per-iteration accuracy min(1/2, 0.225) > 0.2
+        oracle = SketchedResistanceOracle(graph, eta=0.2, seed=0)
+        report = compute_apx_weights(
+            graph=graph, resistance_oracle=oracle, eta=0.9, seed=0
+        )
+        assert report.iterations > 0
+        assert np.all(report.weights > 0)
+
+    def test_shared_oracle_is_consumed_not_rebuilt(self, graph, monkeypatch):
+        # uniform iterates must read off the resident oracle; constructing a
+        # fresh SketchedResistanceOracle for the base graph would re-pay the
+        # k embedding solves the serving layer already holds
+        oracle = SketchedResistanceOracle(graph, eta=0.3, k_override=graph.m)
+        calls = {"count": 0}
+        original_init = SketchedResistanceOracle.__init__
+
+        def counting_init(self, *args, **kwargs):
+            calls["count"] += 1
+            return original_init(self, *args, **kwargs)
+
+        monkeypatch.setattr(SketchedResistanceOracle, "__init__", counting_init)
+        compute_apx_weights(
+            graph=graph,
+            resistance_oracle=oracle,
+            eta=1e-2,
+            use_sketching=False,
+            seed=0,
+            max_iterations=1,  # the start is uniform: one oracle-served round
+        )
+        assert calls["count"] == 0
