@@ -18,6 +18,12 @@ measurements to a ``BENCH_serve.json`` trajectory at the repo root:
   contract, must stay <= eta).  The floor asserted on grid-100x100 is a 5x
   win for the sketched batch over the splu batch -- well under the measured
   two-orders-of-magnitude gain, like the other floors.
+* **resilience overhead** -- the same grid-100x100 warm workload served
+  fault-free and under a 1% *transient* injected build-failure rate
+  (``FaultPlan``/``FaultRule``, retried with the default backoff policy).
+  The containment machinery -- injector seams on every batch, retry
+  wrapping, breaker bookkeeping -- must not tax healthy serving: the floor
+  asserts the faulted warm workload stays within 2x of fault-free.
 * **repair vs rebuild under mutation** -- a single ``add_edge`` on a
   registered graph invalidates the whole warm artifact stack; the repair
   path absorbs it with low-rank updates (Sherman-Morrison on the grounded
@@ -51,7 +57,7 @@ import pytest
 
 from repro.graphs import generators
 from repro.linalg.jl import resistance_sketch_dimension
-from repro.serve import ArtifactCache, LaplacianService
+from repro.serve import ArtifactCache, FaultPlan, FaultRule, LaplacianService
 from repro.solvers import BCCLaplacianSolver
 
 TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
@@ -77,6 +83,16 @@ SKETCH_VS_SPLU_FLOOR = 5.0
 
 #: asserted floor on grid-100x100: post-mutation repaired path vs cold rebuild
 MUTATION_SPEEDUP_FLOOR = 10.0
+
+#: asserted ceiling on grid-100x100: warm workload under a 1% transient
+#: build-failure rate vs the identical fault-free workload
+RESILIENCE_SLOWDOWN_CEILING = 2.0
+
+#: injected transient build-failure probability of the resilience measurement
+RESILIENCE_FAULT_RATE = 0.01
+
+#: warm workload repetitions timed by the resilience measurement
+RESILIENCE_ROUNDS = 3
 
 #: repaired and rebuilt answers must agree to this on the exact path
 MUTATION_AGREEMENT_ATOL = 1e-8
@@ -241,6 +257,67 @@ def _measure_mutation(service, key, graph, mode):
     return stats
 
 
+def _measure_resilience(graph_factory):
+    """Warm-workload cost of serving under a 1% transient build-failure rate.
+
+    Two services, identical seeded workloads: one fault-free, one armed with
+    a probabilistic transient ``build`` rule.  Both prime cold (where the
+    injected failures actually fire and the retry policy absorbs them), then
+    the *warm* workload is timed -- the steady state a production service
+    lives in, where the containment machinery's only legitimate cost is the
+    per-batch seam checks and retry wrapping.
+    """
+    plan = FaultPlan(
+        (FaultRule(op="build", probability=RESILIENCE_FAULT_RATE, transient=True),),
+        seed=3,
+    )
+    timings = {}
+    ledger = {}
+    for label, faults in (("fault_free", None), ("faulted", plan)):
+        service = LaplacianService(
+            t_override=T_OVERRIDE,
+            auto_flush=False,
+            cache=ArtifactCache(max_bytes=SKETCH_CACHE_BYTES),
+            faults=faults,
+        )
+        graph = graph_factory()
+        key = service.register(graph)
+        rng = np.random.default_rng(45)
+        rhs = [rng.normal(size=graph.n) for _ in range(WARM_QUERIES)]
+        pairs = [
+            (int(u), int(v))
+            for u, v in zip(
+                rng.integers(0, graph.n, RESISTANCE_BATCH),
+                rng.integers(0, graph.n, RESISTANCE_BATCH),
+            )
+        ]
+
+        def workload():
+            for b in rhs:
+                service.solve(key, b, eps=1e-6)
+            service.effective_resistances(key, pairs)
+
+        workload()  # prime cold: builds run (and injected flakes retry) here
+        _, seconds = _timed(lambda: [workload() for _ in range(RESILIENCE_ROUNDS)])
+        timings[label] = seconds
+        if label == "faulted":
+            snapshot = service.metrics_snapshot()
+            ledger = {
+                "resilience_retries": snapshot["retries_total"],
+                "resilience_failures": snapshot["failures_total"],
+            }
+        service.close()
+    return {
+        "resilience_fault_rate": RESILIENCE_FAULT_RATE,
+        "resilience_fault_free_seconds": round(timings["fault_free"], 4),
+        "resilience_faulted_seconds": round(timings["faulted"], 4),
+        "resilience_slowdown": round(
+            timings["faulted"] / max(timings["fault_free"], 1e-12), 2
+        ),
+        **ledger,
+    }
+
+
 def run_case(name: str, graph, warm_queries: int = WARM_QUERIES, mode: str = "standard") -> dict:
     """Serve one workload; return cold/warm/batched throughput measurements."""
     cache = ArtifactCache(max_bytes=SKETCH_CACHE_BYTES) if mode != "standard" else None
@@ -365,6 +442,12 @@ def _print_case(stats):
             f"rebuild {stats['mutation_rebuild_seconds']:.3f}s, "
             f"{stats['mutation_speedup']:.0f}x]"
         )
+    if "resilience_slowdown" in stats:
+        parts.append(
+            f"[{stats['resilience_fault_rate']:.0%} fault rate: "
+            f"{stats['resilience_slowdown']:.2f}x of fault-free, "
+            f"{stats['resilience_retries']} retries]"
+        )
     print(" ".join(parts))
 
 
@@ -373,6 +456,8 @@ def main():
     for name, factory, mode in make_workloads():
         graph = factory()
         stats = run_case(name, graph, mode=mode)
+        if name == "grid-100x100":
+            stats.update(_measure_resilience(factory))
         cases.append(stats)
         _print_case(stats)
     append_trajectory(cases)
@@ -398,6 +483,17 @@ def main():
         raise SystemExit(
             f"FAIL: post-mutation repaired path {grid['mutation_speedup']}x over the "
             f"cold rebuild, below floor {MUTATION_SPEEDUP_FLOOR}x on grid-100x100"
+        )
+    if grid["resilience_slowdown"] > RESILIENCE_SLOWDOWN_CEILING:
+        raise SystemExit(
+            f"FAIL: warm workload under {RESILIENCE_FAULT_RATE:.0%} injected "
+            f"build-failure rate is {grid['resilience_slowdown']}x fault-free, "
+            f"above the {RESILIENCE_SLOWDOWN_CEILING}x ceiling on grid-100x100"
+        )
+    if grid["resilience_failures"] != 0:
+        raise SystemExit(
+            f"FAIL: {grid['resilience_failures']} queries failed under the "
+            f"transient fault plan; retries should have absorbed every flake"
         )
     for case in cases:
         for entry in case.get("eta_sweep", ()):

@@ -49,6 +49,7 @@ from repro.linalg.sparse_backend import (
     DEFAULT_BATCH_SIZE,
     GroundedLaplacianSolver,
     apply_pair_semantics,
+    check_finite,
     incidence_csr,
     validate_pair_indices,
 )
@@ -160,6 +161,10 @@ class SketchedResistanceOracle:
             stop = min(self.k, start + batch_size)
             block = sketched_incidence[start:stop].toarray().T
             embedding[:, start:stop] = solver.solve_many(block)
+        # an overflowed/poisoned embedding would corrupt *every* later pair
+        # answer: refuse the build rather than cache a sick artifact (the
+        # serving tier degrades such a failure to the grounded exact path)
+        check_finite(embedding, "sketched resistance embedding")
         self._embedding = embedding
 
     @property

@@ -52,6 +52,39 @@ DEFAULT_BATCH_SIZE = 512
 BACKENDS = ("auto", "dense", "sparse")
 
 
+class NumericalHealthError(ArithmeticError):
+    """A kernel produced -- or was fed -- non-finite values (NaN/inf).
+
+    The serving tier's numerical-health guard: a solver output containing
+    NaN, or a factorisation attempted over non-finite edge weights, is
+    *refused* with this typed error instead of being returned (or cached) as
+    a silently wrong answer.  Defined here, at the bottom of the import
+    graph, so :mod:`repro.linalg`, :mod:`repro.lp` and :mod:`repro.serve`
+    can all raise and catch the same type; re-exported by
+    :mod:`repro.serve.resilience`.  Subclasses :class:`ArithmeticError`
+    because the root cause is always arithmetic (singular systems, overflow,
+    poisoned inputs).
+    """
+
+
+def check_finite(values, what: str, allow_inf: bool = False) -> None:
+    """Raise :class:`NumericalHealthError` if ``values`` contains NaN (or inf).
+
+    ``allow_inf=True`` tolerates infinities -- effective resistances across
+    components are legitimately ``inf``, so resistance outputs are checked
+    for NaN only, while solve/gram outputs must be entirely finite.
+    """
+    arr = np.asarray(values)
+    if arr.size == 0:
+        return
+    bad = np.isnan(arr) if allow_inf else ~np.isfinite(arr)
+    count = int(np.count_nonzero(bad))
+    if count:
+        raise NumericalHealthError(
+            f"{what} contains {count} non-finite value(s); refusing to serve it"
+        )
+
+
 def resolve_backend_for_size(n: int, backend: str) -> str:
     """Resolve ``'auto'`` to a concrete backend for a system of ``n`` unknowns."""
     if backend not in BACKENDS:
@@ -156,6 +189,9 @@ class GroundedLaplacianSolver:
         self.n = graph.n
         self._nbytes: Optional[int] = None
         self._component_label: Optional[np.ndarray] = None
+        # refuse to factorise poisoned content: a NaN weight would not make
+        # splu fail loudly, it would silently propagate into every answer
+        check_finite(graph.edge_array()[2], "graph edge weights")
         L = laplacian_csr(graph)
         components = graph.connected_components()
         self._components: List[np.ndarray] = [
@@ -170,7 +206,15 @@ class GroundedLaplacianSolver:
             # MMD on A^T + A: the grounded Laplacian is structurally symmetric,
             # and this ordering roughly halves fill-in (and solve time) versus
             # the default COLAMD on the graphs we benchmark.
-            self._lu = spla.splu(reduced, permc_spec="MMD_AT_PLUS_A")
+            try:
+                self._lu = spla.splu(reduced, permc_spec="MMD_AT_PLUS_A")
+            except RuntimeError as error:
+                # SuperLU signals singular/badly-scaled systems as a bare
+                # RuntimeError; surface it as the typed numerical-health
+                # failure the serving tier's degradation ladder catches
+                raise NumericalHealthError(
+                    f"grounded splu factorisation failed: {error}"
+                ) from error
         else:
             self._lu = None
 

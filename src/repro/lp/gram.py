@@ -44,6 +44,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 from scipy.sparse import csgraph
 
+from repro.linalg.sparse_backend import NumericalHealthError
 from repro.solvers.chebyshev import preconditioned_chebyshev
 
 #: multiplicative per-weight drift band served by Chebyshev against the held
@@ -464,6 +465,12 @@ class GramSolverBridge:
         if np.any(w <= 0.0):
             raise ValueError("gram diagonal must aggregate to positive pair weights")
         strategy, y = self._solve(w, np.asarray(rhs, dtype=float))
+        if not np.all(np.isfinite(y)):
+            # numerical-health guard: an IPM fed a NaN Newton direction
+            # diverges silently many steps later -- refuse loudly here instead
+            raise NumericalHealthError(
+                f"gram solve (strategy {strategy!r}) produced non-finite output"
+            )
         elapsed = time.perf_counter() - start
         self.stats.solves += 1
         self.stats.seconds_total += elapsed

@@ -23,6 +23,17 @@ something:
   thread-safe submission queue, flush policy with admission control
   (``max_pending`` -> :class:`ServiceOverloadedError`), serving metrics,
   ``repair=`` knob.
+* :mod:`repro.serve.resilience` -- failure containment:
+  :class:`ResiliencePolicy` (deadlines, transient-failure retries with
+  backoff, circuit-breaker knobs), the per-artifact :class:`CircuitBreaker`,
+  health counters, and the typed errors clients observe
+  (:class:`DeadlineExceededError`, :class:`ArtifactBreakerOpenError`,
+  :class:`NumericalHealthError`).  Batches that raise are *bisected* by the
+  service so only the poisoned queries fail.
+* :mod:`repro.serve.faults` -- deterministic fault injection
+  (:class:`FaultPlan` / :class:`FaultInjector`, armed via
+  :meth:`LaplacianService.arm_faults`) so every containment behaviour is
+  provable on demand.
 
 Quickstart::
 
@@ -38,6 +49,15 @@ Quickstart::
 """
 
 from repro.serve.artifacts import ArtifactCache, CacheStats, estimate_nbytes
+from repro.serve.faults import (
+    FAULT_OPS,
+    FaultInjectionError,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    TransientFaultError,
+    disarmed_injector,
+)
 from repro.serve.planner import (
     REPAIR_DELTA_LIMIT,
     CertificationReport,
@@ -56,7 +76,17 @@ from repro.serve.registry import (
     FingerprintCollisionError,
     GraphRegistry,
     RegisteredGraph,
+    UnknownGraphError,
     graph_fingerprint,
+)
+from repro.serve.resilience import (
+    ArtifactBreakerOpenError,
+    CircuitBreaker,
+    DeadlineExceededError,
+    HealthStats,
+    NumericalHealthError,
+    ResiliencePolicy,
+    call_with_retries,
 )
 from repro.serve.service import (
     FlushPolicy,
@@ -85,10 +115,25 @@ __all__ = [
     "FingerprintCollisionError",
     "GraphRegistry",
     "RegisteredGraph",
+    "UnknownGraphError",
     "graph_fingerprint",
     "FlushPolicy",
     "LaplacianService",
     "QueryTicket",
     "ServiceMetrics",
     "ServiceOverloadedError",
+    "FAULT_OPS",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "TransientFaultError",
+    "disarmed_injector",
+    "ArtifactBreakerOpenError",
+    "CircuitBreaker",
+    "DeadlineExceededError",
+    "HealthStats",
+    "NumericalHealthError",
+    "ResiliencePolicy",
+    "call_with_retries",
 ]

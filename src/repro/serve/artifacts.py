@@ -274,7 +274,18 @@ class ArtifactCache:
                     self._remove_locked(entry.key)
             candidates = [entry for entry in doomed if entry.version == from_version]
             start = time.perf_counter()
-            survivors = repair_fn(candidates) if candidates else {}
+            try:
+                survivors = repair_fn(candidates) if candidates else {}
+            except BaseException:
+                # a repair walk that raises mid-delta is fail-safe by
+                # construction -- the stale entries are already popped, so
+                # nothing half-updated can be served -- but the books must
+                # still balance: every doomed entry is an invalidation, and
+                # the partial walk's cost is accounted before re-raising
+                with self._lock:
+                    self.stats.invalidations += len(doomed)
+                    self.stats.build_seconds += time.perf_counter() - start
+                raise
             repair_seconds = time.perf_counter() - start
             with self._lock:
                 migrated = 0

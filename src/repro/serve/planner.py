@@ -85,7 +85,16 @@ from repro.linalg.sparse_backend import (
 )
 from repro.lp.gram import GRAM_FORMULATIONS, GramSolverBridge, flow_gram_structure
 from repro.serve.artifacts import ArtifactCache, CacheEntry
+from repro.serve.faults import FaultInjector, FaultPlan, disarmed_injector
 from repro.serve.registry import GraphRegistry, RegisteredGraph
+from repro.serve.resilience import (
+    ArtifactBreakerOpenError,
+    CircuitBreaker,
+    HealthStats,
+    NumericalHealthError,
+    ResiliencePolicy,
+    call_with_retries,
+)
 from repro.solvers.laplacian import BCCLaplacianSolver, SolverPreprocessing
 
 QUERY_KINDS = ("solve", "resistance", "certify", "gram", "flow")
@@ -268,13 +277,20 @@ class QueryBatch:
 
 @dataclass
 class QueryResult:
-    """Per-query outcome, annotated with serving metadata."""
+    """Per-query outcome, annotated with serving metadata.
+
+    ``degraded=True`` marks an answer served through a fallback rung of the
+    degradation ladder (grounded exact path after an oracle build failure or
+    open breaker, rebuild after a failed repair walk): still *correct*, but
+    potentially slower than the artifact the planner wanted to use.
+    """
 
     query: Query
     value: Any
     cache_hit: bool
     batch_size: int
     seconds: float  # per-query share of the batch wall-clock
+    degraded: bool = False
 
 
 @dataclass
@@ -303,6 +319,9 @@ class QueryPlanner:
         oracle_limit: int = RESISTANCE_ORACLE_LIMIT,
         repair_enabled: bool = True,
         repair_delta_limit: int = REPAIR_DELTA_LIMIT,
+        resilience: Optional[ResiliencePolicy] = None,
+        health: Optional[HealthStats] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.registry = registry
         self.cache = cache
@@ -327,6 +346,42 @@ class QueryPlanner:
         #: SKETCH_DEMAND_FACTOR the sketch build has amortised and is
         #: triggered.  Touched only under the service's execute lock.
         self._sketch_demand: Dict[Tuple[str, int, float], int] = {}
+        #: failure-containment policy shared with the owning service (the
+        #: service passes its own so the two can never disagree)
+        self.resilience = resilience if resilience is not None else ResiliencePolicy()
+        #: resilience counters, surfaced through ``metrics_snapshot``
+        self.health = health if health is not None else HealthStats()
+        #: TTL'd negative cache over artifact builds, keyed per artifact
+        #: identity ``(fingerprint, kind, params)`` -- see :meth:`_build`
+        self.breaker = CircuitBreaker(
+            threshold=self.resilience.breaker_threshold,
+            ttl_seconds=self.resilience.breaker_ttl_seconds,
+        )
+        #: fault-injection seams (a disarmed no-op injector by default)
+        self.faults = faults if faults is not None else disarmed_injector()
+        self._retry_rng = np.random.default_rng(self.resilience.seed)
+
+    def arm_faults(self, faults) -> FaultInjector:
+        """Arm a :class:`FaultPlan`/:class:`FaultInjector`; ``None`` disarms.
+
+        Returns the active injector so callers can read its fire counters
+        (e.g. to assert that no sketch build was attempted behind an open
+        breaker).  Swapped atomically enough for tests -- arming while a
+        flush is executing is not a supported pattern.
+        """
+        if faults is None:
+            injector = disarmed_injector()
+        elif isinstance(faults, FaultInjector):
+            injector = faults
+        elif isinstance(faults, FaultPlan):
+            injector = FaultInjector(faults)
+        else:
+            raise TypeError(
+                f"arm_faults wants a FaultPlan, FaultInjector or None, "
+                f"got {type(faults).__name__}"
+            )
+        self.faults = injector
+        return injector
 
     # -- planning --------------------------------------------------------------
 
@@ -390,17 +445,18 @@ class QueryPlanner:
         returned results carry per-query shares of the batch wall-clock.
         """
         entry = self._current_entry(batch.graph_key)
+        self.faults.on_execute(batch)
         start = time.perf_counter()
         if batch.kind == "solve":
-            values, cache_hit = self._execute_solve(entry, batch)
+            values, cache_hit, degraded = self._execute_solve(entry, batch)
         elif batch.kind == "resistance":
-            values, cache_hit = self._execute_resistance(entry, batch)
+            values, cache_hit, degraded = self._execute_resistance(entry, batch)
         elif batch.kind == "gram":
-            values, cache_hit = self._execute_gram(entry, batch)
+            values, cache_hit, degraded = self._execute_gram(entry, batch)
         elif batch.kind == "flow":
-            values, cache_hit = self._execute_flow(entry, batch)
+            values, cache_hit, degraded = self._execute_flow(entry, batch)
         else:
-            values, cache_hit = self._execute_certify(entry, batch)
+            values, cache_hit, degraded = self._execute_certify(entry, batch)
         per_query_seconds = (time.perf_counter() - start) / max(1, batch.size)
         return [
             QueryResult(
@@ -409,9 +465,63 @@ class QueryPlanner:
                 cache_hit=cache_hit,
                 batch_size=batch.size,
                 seconds=per_query_seconds,
+                degraded=degraded,
             )
             for query, value in zip(batch.queries, values)
         ]
+
+    def _build(
+        self,
+        entry: RegisteredGraph,
+        kind: str,
+        params: Tuple[Hashable, ...],
+        builder,
+    ):
+        """Breaker-guarded, retried ``cache.get_or_build`` -- the one build seam.
+
+        Every artifact build the planner takes goes through here so failure
+        containment can never fork per call site: the circuit breaker is
+        consulted first (an open breaker raises
+        :class:`ArtifactBreakerOpenError` *without* attempting the build --
+        that is the short-circuit that saves the ``k`` blocked solves),
+        transient build failures are retried with the policy's backoff, and
+        the outcome is recorded back into the breaker.  The breaker key is
+        the artifact identity ``(fingerprint, kind, params)`` -- the version
+        is deliberately excluded so a content-independent failure (e.g.
+        resource exhaustion on a sketch of this size) stays remembered
+        across cheap mutations; the TTL bounds how long.
+
+        Fault-injection seam: an armed injector's ``build`` rules fire
+        inside the builder, i.e. only on a cache miss -- a cached artifact
+        is never failed retroactively.
+        """
+        breaker_key = (entry.fingerprint, kind, params)
+        if not self.breaker.allow(breaker_key):
+            self.health.increment("breaker_open_total")
+            raise ArtifactBreakerOpenError(
+                f"circuit breaker open for {kind!r} builds of graph "
+                f"{entry.fingerprint[:12]} (params={params!r}): recent builds "
+                f"failed repeatedly; retrying after the TTL"
+            )
+
+        def guarded_builder():
+            self.faults.on_build(kind)
+            return builder()
+
+        try:
+            value, cache_hit = call_with_retries(
+                lambda: self.cache.get_or_build(
+                    entry.fingerprint, entry.version, kind, params, guarded_builder
+                ),
+                self.resilience,
+                self._retry_rng,
+                health=self.health,
+            )
+        except Exception:
+            self.breaker.record_failure(breaker_key)
+            raise
+        self.breaker.record_success(breaker_key)
+        return value, cache_hit
 
     def _current_entry(self, graph_key: str) -> RegisteredGraph:
         """Registry entry with staleness resolved (refuse + repair/rebuild).
@@ -449,13 +559,25 @@ class QueryPlanner:
                 self.repair_delta_limit, default_update_budget(entry.graph.n)
             )
             if delta and len(delta) <= limit:
-                self.cache.repair_graph(
-                    stale_fingerprint,
-                    stale_version,
-                    entry.fingerprint,
-                    entry.version,
-                    lambda candidates: self._repair_survivors(candidates, delta),
-                )
+                try:
+                    self.cache.repair_graph(
+                        stale_fingerprint,
+                        stale_version,
+                        entry.fingerprint,
+                        entry.version,
+                        lambda candidates: self._repair_survivors(candidates, delta),
+                    )
+                except Exception:
+                    # degradation ladder: a repair walk that dies mid-delta
+                    # must not fail the query that triggered it.  The stale
+                    # entries were popped before the walk ran (see
+                    # ArtifactCache.repair_graph), so nothing half-updated
+                    # survives -- fall through to rebuild-from-scratch
+                    # semantics and count the degradation.
+                    self.health.increment("degraded_total")
+                    self.cache.invalidate_graph(
+                        stale_fingerprint, keep_version=entry.version
+                    )
             else:
                 self.cache.invalidate_graph(
                     stale_fingerprint, keep_version=entry.version
@@ -553,7 +675,10 @@ class QueryPlanner:
             for c in preps
         }
 
-        for record in delta:
+        for step, record in enumerate(delta):
+            # fault-injection seam: a ``repair`` rule models a walk crashing
+            # at this record; the exception falls back to rebuild upstream
+            self.faults.on_repair(step)
             delta_w = record.weight_delta
             if grounded_ok and not grounded.apply_update(record.u, record.v, delta_w):
                 grounded_ok = False
@@ -601,11 +726,10 @@ class QueryPlanner:
 
     def _execute_solve(
         self, entry: RegisteredGraph, batch: QueryBatch
-    ) -> Tuple[List[Any], bool]:
+    ) -> Tuple[List[Any], bool, bool]:
         graph = entry.graph
-        preprocessing, cache_hit = self.cache.get_or_build(
-            entry.fingerprint,
-            entry.version,
+        preprocessing, cache_hit = self._build(
+            entry,
             "preprocessing",
             self._solver_params(),
             lambda: BCCLaplacianSolver.prepare(
@@ -625,11 +749,26 @@ class QueryPlanner:
         reports = api.solve_many(
             graph, [q.payload["b"] for q in batch.queries], eps=eps, solver=solver
         )
-        return list(reports), cache_hit
+        for query, report in zip(batch.queries, reports):
+            if self.faults.nan_output(query):
+                report.solution[:] = np.nan
+        poisoned = [
+            q.query_id
+            for q, r in zip(batch.queries, reports)
+            if not np.all(np.isfinite(r.solution))
+        ]
+        if poisoned:
+            # the numerical-health guard: refuse, never return, NaN/inf.
+            # Bisection in the service's flush narrows the failure to
+            # exactly the poisoned queries.
+            raise NumericalHealthError(
+                f"solve produced non-finite solutions for queries {poisoned}"
+            )
+        return list(reports), cache_hit, False
 
     def _execute_resistance(
         self, entry: RegisteredGraph, batch: QueryBatch
-    ) -> Tuple[List[Any], bool]:
+    ) -> Tuple[List[Any], bool, bool]:
         graph = entry.graph
         eta = batch.coalesce_params[0] if batch.coalesce_params else None
 
@@ -642,6 +781,7 @@ class QueryPlanner:
             vs.append(np.atleast_1d(np.asarray(query.payload["v"], dtype=np.int64)))
         counts = [a.size for a in us]
 
+        degraded = False
         if graph.n <= self.oracle_limit:
             # Medium graphs: precompute the dense grounded-inverse oracle
             # once (n batched triangular solves, n^2 doubles) and answer
@@ -649,25 +789,51 @@ class QueryPlanner:
             # answers satisfy any requested eta for free.  The grounded
             # factorisation is only materialised on an oracle miss -- a
             # cached oracle must not trigger a useless splu rebuild.
-            solver, cache_hit = self.cache.get_or_build(
-                entry.fingerprint,
-                entry.version,
-                "resistance_oracle",
-                (),
-                lambda: ResistanceOracle(graph, grounded=self._grounded(entry)[0]),
-            )
+            try:
+                solver, cache_hit = self._build(
+                    entry,
+                    "resistance_oracle",
+                    (),
+                    lambda: ResistanceOracle(graph, grounded=self._grounded(entry)[0]),
+                )
+            except Exception:
+                # degradation ladder: a failed (or breaker-open) oracle
+                # build answers exactly from the grounded factorisation --
+                # slower per pair, identical numbers
+                self.health.increment("degraded_total")
+                degraded = True
+                solver, cache_hit = self._grounded(entry)
         elif eta is not None:
-            solver, cache_hit = self._sketched_or_fallback(entry, eta, sum(counts))
+            solver, cache_hit, degraded = self._sketched_or_fallback(
+                entry, eta, sum(counts)
+            )
         else:
             solver, cache_hit = self._grounded(entry)
         resistances = solver.pair_resistances(np.concatenate(us), np.concatenate(vs))
-        values: List[Any] = []
+        slices: List[slice] = []
         offset = 0
         for query, count in zip(batch.queries, counts):
-            chunk = resistances[offset : offset + count]
+            piece = slice(offset, offset + count)
             offset += count
+            if self.faults.nan_output(query):
+                resistances[piece] = np.nan
+            slices.append(piece)
+        # numerical-health guard: NaN only -- inf is the legitimate answer
+        # for a cross-component pair
+        poisoned = [
+            q.query_id
+            for q, piece in zip(batch.queries, slices)
+            if np.isnan(resistances[piece]).any()
+        ]
+        if poisoned:
+            raise NumericalHealthError(
+                f"resistance kernel produced NaN for queries {poisoned}"
+            )
+        values: List[Any] = []
+        for query, piece in zip(batch.queries, slices):
+            chunk = resistances[piece]
             values.append(chunk.copy() if np.ndim(query.payload["u"]) else float(chunk[0]))
-        return values, cache_hit
+        return values, cache_hit, degraded
 
     def _grounded(
         self, entry: RegisteredGraph
@@ -681,9 +847,8 @@ class QueryPlanner:
         been absorbed) so the repair path can turn a later ``add_edge`` into
         a rank-1 update instead of a refactorisation.
         """
-        return self.cache.get_or_build(
-            entry.fingerprint,
-            entry.version,
+        return self._build(
+            entry,
             "grounded",
             (),
             lambda: RepairableGroundedSolver(entry.graph),
@@ -691,7 +856,7 @@ class QueryPlanner:
 
     def _sketched_or_fallback(
         self, entry: RegisteredGraph, eta: float, n_pairs: int
-    ) -> Tuple[Any, bool]:
+    ) -> Tuple[Any, bool, bool]:
         """Serving artifact for a large-graph approximate-resistance batch.
 
         Policy: a cached sketch always serves.  Otherwise the sketch (``k``
@@ -706,6 +871,13 @@ class QueryPlanner:
         under the cache byte budget is never built at all -- the LRU would
         evict it on the next insert and every approximate batch would pay
         the ``k``-solve rebuild, far worse than the fallback it replaces.
+
+        Failure containment (the third returned flag): a sketch build that
+        fails -- or is short-circuited by its open circuit breaker, in which
+        case no build is attempted at all -- *degrades* to the grounded
+        exact path instead of failing the batch.  The amortisation fallback
+        above is not a degradation (nothing failed); only failure-driven
+        fallbacks are flagged and counted in ``degraded_total``.
         """
         params = (eta, self.solver_seed)
         if not self.cache.contains(
@@ -727,7 +899,8 @@ class QueryPlanner:
                     # oldest counter first (insertion order); losing one only
                     # delays that graph's next build decision
                     self._sketch_demand.pop(next(iter(self._sketch_demand)))
-                return self._grounded(entry)
+                solver, cache_hit = self._grounded(entry)
+                return solver, cache_hit, False
             self._sketch_demand.pop(demand_key, None)
         builder = lambda: SketchedResistanceOracle(  # noqa: E731 -- reused below
             entry.graph,
@@ -735,20 +908,26 @@ class QueryPlanner:
             seed=self.solver_seed,
             grounded=self._grounded(entry)[0],
         )
-        oracle, cache_hit = self.cache.get_or_build(
-            entry.fingerprint, entry.version, "sketched_resistance", params, builder
-        )
-        if oracle.eta_effective > eta:
-            # a repaired oracle's widened bound can drift past the requested
-            # eta (the repair path already drops most such cases); the
-            # contract wins over the artifact -- rebuild at full accuracy
-            self.cache.discard(
-                entry.fingerprint, entry.version, "sketched_resistance", params
+        try:
+            oracle, cache_hit = self._build(
+                entry, "sketched_resistance", params, builder
             )
-            oracle, cache_hit = self.cache.get_or_build(
-                entry.fingerprint, entry.version, "sketched_resistance", params, builder
-            )
-        return oracle, cache_hit
+            if oracle.eta_effective > eta:
+                # a repaired oracle's widened bound can drift past the
+                # requested eta (the repair path already drops most such
+                # cases); the contract wins over the artifact -- rebuild at
+                # full accuracy
+                self.cache.discard(
+                    entry.fingerprint, entry.version, "sketched_resistance", params
+                )
+                oracle, cache_hit = self._build(
+                    entry, "sketched_resistance", params, builder
+                )
+        except Exception:
+            self.health.increment("degraded_total")
+            solver, cache_hit = self._grounded(entry)
+            return solver, cache_hit, True
+        return oracle, cache_hit, False
 
     # -- flow / gram workloads -------------------------------------------------
 
@@ -764,9 +943,8 @@ class QueryPlanner:
         :meth:`ArtifactCache.get_or_build` under the entry's content
         identity, which is where repeat solves find warm ``splu`` factors.
         """
-        structure, _ = self.cache.get_or_build(
-            entry.fingerprint,
-            entry.version,
+        structure, _ = self._build(
+            entry,
             "gram_structure",
             (formulation,),
             lambda: flow_gram_structure(entry.graph, formulation),
@@ -780,16 +958,33 @@ class QueryPlanner:
 
     def _execute_gram(
         self, entry: RegisteredGraph, batch: QueryBatch
-    ) -> Tuple[List[Any], bool]:
+    ) -> Tuple[List[Any], bool, bool]:
         formulation = batch.coalesce_params[0]
         bridge = self.gram_bridge(entry, formulation)
-        values = [bridge(q.payload["d"], q.payload["rhs"]) for q in batch.queries]
+        values: List[Any] = []
+        for query in batch.queries:
+            y = bridge(query.payload["d"], query.payload["rhs"])
+            if self.faults.nan_output(query):
+                y = np.full_like(np.asarray(y, dtype=float), np.nan)
+            values.append(y)
+        # the bridge refuses genuinely sick solves itself (see
+        # GramSolverBridge.__call__); this guard catches injected poison at
+        # the same contract boundary
+        poisoned = [
+            q.query_id
+            for q, y in zip(batch.queries, values)
+            if not np.all(np.isfinite(y))
+        ]
+        if poisoned:
+            raise NumericalHealthError(
+                f"gram solve produced non-finite output for queries {poisoned}"
+            )
         cache_hit = bridge.stats.cache_hits > 0
-        return values, cache_hit
+        return values, cache_hit, False
 
     def _execute_flow(
         self, entry: RegisteredGraph, batch: QueryBatch
-    ) -> Tuple[List[Any], bool]:
+    ) -> Tuple[List[Any], bool, bool]:
         """One pipeline run answers every identical-parameter flow query.
 
         Warm serving artifacts: the phase-1 max flow (kind ``"maxflow"``,
@@ -798,9 +993,8 @@ class QueryPlanner:
         given the parameters, so one run is the answer for the whole batch.
         """
         engine, seed, eps_scale, perturb = batch.coalesce_params
-        phase_one, phase_hit = self.cache.get_or_build(
-            entry.fingerprint,
-            entry.version,
+        phase_one, phase_hit = self._build(
+            entry,
             "maxflow",
             (),
             lambda: edmonds_karp_max_flow(entry.graph),
@@ -822,11 +1016,11 @@ class QueryPlanner:
             phase_one=phase_one,
         )
         cache_hit = phase_hit or any(b.stats.cache_hits > 0 for b in bridges)
-        return [result] * batch.size, cache_hit
+        return [result] * batch.size, cache_hit, False
 
     def _execute_certify(
         self, entry: RegisteredGraph, batch: QueryBatch
-    ) -> Tuple[List[Any], bool]:
+    ) -> Tuple[List[Any], bool, bool]:
         from repro.graphs.laplacian import spectral_approximation_factor
 
         graph = entry.graph
@@ -883,8 +1077,6 @@ class QueryPlanner:
         # the eigensolver certification is deterministic per (content
         # version, params): memoise the whole report, so a warm certify is
         # a cache lookup instead of a repeated eigsh run
-        report, cache_hit = self.cache.get_or_build(
-            entry.fingerprint, entry.version, "certification", params, build_report
-        )
+        report, cache_hit = self._build(entry, "certification", params, build_report)
         # one certification answers every query in the batch
-        return [report] * batch.size, cache_hit
+        return [report] * batch.size, cache_hit, False

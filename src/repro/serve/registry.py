@@ -37,6 +37,15 @@ from typing import Callable, Dict, List, Optional
 from repro.graphs.graph import WeightedGraph
 
 
+class UnknownGraphError(KeyError):
+    """No graph is registered under the requested handle.
+
+    A :class:`KeyError` subclass so historical ``except KeyError`` callers
+    keep working, but typed so serving clients can tell "you never
+    registered this" apart from every other lookup failure.
+    """
+
+
 def graph_fingerprint(graph) -> str:
     """Content fingerprint: sha256 over the canonical edge columns.
 
@@ -156,7 +165,7 @@ class GraphRegistry:
         with self._lock:
             entry = self._entries.get(key)
         if entry is None:
-            raise KeyError(f"no graph registered under {key!r}")
+            raise UnknownGraphError(f"no graph registered under {key!r}")
         return entry
 
     def revalidate(self, key: str) -> bool:
@@ -172,7 +181,7 @@ class GraphRegistry:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                raise KeyError(f"no graph registered under {key!r}")
+                raise UnknownGraphError(f"no graph registered under {key!r}")
             if entry.is_current():
                 return False
             new_fingerprint = self._fingerprint(entry.graph)
@@ -199,7 +208,7 @@ class GraphRegistry:
         with self._lock:
             entry = self._entries.pop(key, None)
             if entry is None:
-                raise KeyError(f"no graph registered under {key!r}")
+                raise UnknownGraphError(f"no graph registered under {key!r}")
             if self._by_fingerprint.get(entry.fingerprint) == key:
                 del self._by_fingerprint[entry.fingerprint]
 

@@ -34,9 +34,11 @@ import numpy as np
 from repro.graphs.digraph import FlowNetwork
 from repro.graphs.graph import WeightedGraph
 from repro.serve.artifacts import ArtifactCache
+from repro.serve.faults import FaultInjector
 from repro.serve.planner import (
     CertificationReport,
     Query,
+    QueryBatch,
     QueryPlanner,
     QueryResult,
     certify_query,
@@ -47,6 +49,12 @@ from repro.serve.planner import (
     solve_query,
 )
 from repro.serve.registry import GraphRegistry
+from repro.serve.resilience import (
+    DeadlineExceededError,
+    HealthStats,
+    ResiliencePolicy,
+    call_with_retries,
+)
 from repro.solvers.laplacian import LaplacianSolveReport
 
 
@@ -94,6 +102,8 @@ class QueryTicket:
 
     def __init__(self, query: Query):
         self.query = query
+        #: monotonic submission timestamp; deadlines are measured from here
+        self.submitted_at = time.monotonic()
         self._event = threading.Event()
         self._result: Optional[QueryResult] = None
         self._error: Optional[BaseException] = None
@@ -134,7 +144,9 @@ class ServiceMetrics:
         self.batches_total = 0
         self.coalesced_queries = 0
         self.rejected_total = 0
+        self.failures_total = 0
         self.queries_by_kind: Dict[str, int] = {}
+        self.failures_by_kind: Dict[str, int] = {}
         self._latencies: List[float] = []
 
     def observe_rejection(self) -> None:
@@ -152,6 +164,26 @@ class ServiceMetrics:
                 kind = result.query.kind
                 self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + 1
                 self._latencies.append(result.seconds)
+            if len(self._latencies) > self.LATENCY_WINDOW:
+                del self._latencies[: len(self._latencies) - self.LATENCY_WINDOW]
+
+    def observe_failures(self, failed: Sequence[Tuple[Query, float]]) -> None:
+        """Fold one flush's *failed* queries into the metrics.
+
+        Failed queries used to be invisible here, which made the latency
+        percentiles lie under fault load (the slowest queries -- the failing
+        ones -- were exactly the ones dropped from the window).  Each entry
+        is ``(query, seconds)`` with the per-query share of the wall-clock
+        spent before the failure surfaced; the latency lands in the same
+        window the percentiles read.  ``queries_total`` still counts only
+        successful queries -- ``failures_total`` is the separate ledger.
+        """
+        with self._lock:
+            self.failures_total += len(failed)
+            for query, seconds in failed:
+                kind = query.kind
+                self.failures_by_kind[kind] = self.failures_by_kind.get(kind, 0) + 1
+                self._latencies.append(seconds)
             if len(self._latencies) > self.LATENCY_WINDOW:
                 del self._latencies[: len(self._latencies) - self.LATENCY_WINDOW]
 
@@ -185,6 +217,14 @@ class LaplacianService:
     tests and single-threaded scripts where every public method flushes
     synchronously anyway).
 
+    ``resilience=`` takes a :class:`~repro.serve.resilience.ResiliencePolicy`
+    (per-query deadline, transient-failure retries, circuit-breaker
+    threshold/TTL); ``faults=`` pre-arms a
+    :class:`~repro.serve.faults.FaultPlan` for deterministic failure drills
+    (see :meth:`arm_faults`).  Failure semantics -- batch bisection, the
+    degradation ladder, numerical-health refusal -- are documented in
+    ``docs/resilience.md``.
+
     ``repair=True`` (the default) lets the planner absorb short mutation
     deltas of a registered graph -- read from the graph's journal via
     :meth:`~repro.graphs.graph.WeightedGraph.delta_since` -- into the cached
@@ -214,10 +254,17 @@ class LaplacianService:
         backend: str = "auto",
         auto_flush: bool = True,
         repair: bool = True,
+        resilience: Optional[ResiliencePolicy] = None,
+        faults=None,
     ):
         self.registry = registry if registry is not None else GraphRegistry()
         self.cache = cache if cache is not None else ArtifactCache()
         self.flush_policy = flush_policy if flush_policy is not None else FlushPolicy()
+        #: failure-containment knobs (deadline, retries, breaker); shared
+        #: with the planner so service and planner can never disagree
+        self.resilience = resilience if resilience is not None else ResiliencePolicy()
+        #: resilience counters (retries/breaker/degradations/deadline misses)
+        self.health = HealthStats()
         self.planner = QueryPlanner(
             self.registry,
             self.cache,
@@ -226,8 +273,15 @@ class LaplacianService:
             bundle_scale=bundle_scale,
             backend=backend,
             repair_enabled=repair,
+            resilience=self.resilience,
+            health=self.health,
         )
+        if faults is not None:
+            self.planner.arm_faults(faults)
         self.metrics = ServiceMetrics()
+        # retry jitter for batch execution; offset from the planner's stream
+        # so build retries and batch retries draw independent sequences
+        self._retry_rng = np.random.default_rng(self.resilience.seed + 1)
         self._pending: List[Tuple[Query, QueryTicket]] = []
         self._oldest_pending: Optional[float] = None
         self._lock = threading.RLock()
@@ -291,7 +345,16 @@ class LaplacianService:
         return ticket
 
     def flush(self) -> int:
-        """Drain the queue through the planner; return #queries flushed."""
+        """Drain the queue through the planner; return #queries flushed.
+
+        Failure containment: a batch that raises is *bisected* -- split in
+        half and re-executed -- so exactly the poisoned queries fail with
+        the error that named them and every innocent neighbour still
+        resolves (see :meth:`_run_batch`).  With a deadline configured,
+        queries that expired while queued fail fast with
+        :class:`DeadlineExceededError`; queries whose results arrive late
+        still resolve (the miss is counted in ``deadline_misses``).
+        """
         with self._lock:
             drained = self._pending
             self._pending = []
@@ -300,16 +363,13 @@ class LaplacianService:
             return 0
         tickets = {query.query_id: ticket for query, ticket in drained}
         queries = [query for query, _ in drained]
+        failed: List[Tuple[Query, float]] = []
         try:
             with self._execute_lock:
                 batches = self.planner.plan(queries)
                 results: List[QueryResult] = []
                 for batch in batches:
-                    try:
-                        results.extend(self.planner.execute_batch(batch))
-                    except Exception as error:  # propagate to the waiting clients
-                        for query in batch.queries:
-                            tickets[query.query_id]._fail(error)
+                    self._run_batch(batch, tickets, results, failed)
         except BaseException as error:
             # KeyboardInterrupt/SystemExit: unblock every waiter, then let
             # the interrupt propagate instead of executing remaining batches
@@ -317,10 +377,85 @@ class LaplacianService:
                 if not ticket.done():
                     ticket._fail(error)
             raise
+        deadline = self.resilience.deadline_seconds
+        now = time.monotonic()
         for result in results:
-            tickets[result.query.query_id]._resolve(result)
+            ticket = tickets[result.query.query_id]
+            if deadline is not None and now - ticket.submitted_at > deadline:
+                # late but computed: resolve anyway, count the miss
+                self.health.increment("deadline_misses")
+            ticket._resolve(result)
         self.metrics.observe(results, batches=len(batches))
+        if failed:
+            self.metrics.observe_failures(failed)
         return len(queries)
+
+    def _run_batch(
+        self,
+        batch: QueryBatch,
+        tickets: Dict[int, QueryTicket],
+        results: List[QueryResult],
+        failed: List[Tuple[Query, float]],
+    ) -> None:
+        """Execute one batch with deadline, retry, and bisection containment.
+
+        Queries already past the deadline fail *before* execution (no work
+        wasted on an answer nobody is waiting for).  The batch then executes
+        with the policy's transient-failure retries; if it still raises and
+        holds more than one query, it splits in half and both halves
+        re-execute recursively -- artifact builds are cached/warm by then, so
+        re-execution costs kernel time only, and after ``O(log size)`` rounds
+        exactly the poisoned queries have failed with the error that named
+        them.  A single-query batch fails normally: its ticket gets the
+        original error and there is no further recursion.
+        """
+        deadline = self.resilience.deadline_seconds
+        if deadline is not None:
+            now = time.monotonic()
+            live = []
+            for query in batch.queries:
+                if now - tickets[query.query_id].submitted_at > deadline:
+                    self.health.increment("deadline_misses")
+                    tickets[query.query_id]._fail(
+                        DeadlineExceededError(
+                            f"query {query.query_id} exceeded its "
+                            f"{deadline}s deadline before execution"
+                        )
+                    )
+                    failed.append((query, 0.0))
+                else:
+                    live.append(query)
+            if not live:
+                return
+            if len(live) < len(batch.queries):
+                batch = QueryBatch(
+                    batch.graph_key, batch.kind, batch.coalesce_params, live
+                )
+        start = time.perf_counter()
+        try:
+            batch_results = call_with_retries(
+                lambda: self.planner.execute_batch(batch),
+                self.resilience,
+                self._retry_rng,
+                health=self.health,
+            )
+        except Exception as error:
+            elapsed = time.perf_counter() - start
+            if batch.size == 1:
+                query = batch.queries[0]
+                tickets[query.query_id]._fail(error)
+                failed.append((query, elapsed))
+                return
+            mid = batch.size // 2
+            for half in (batch.queries[:mid], batch.queries[mid:]):
+                self._run_batch(
+                    QueryBatch(batch.graph_key, batch.kind, batch.coalesce_params, half),
+                    tickets,
+                    results,
+                    failed,
+                )
+            return
+        results.extend(batch_results)
 
     # -- synchronous front door ------------------------------------------------
 
@@ -438,14 +573,26 @@ class LaplacianService:
         return ticket.result(timeout=None)
 
     def _validate(self, query: Query) -> None:
-        """Reject malformed queries before they can poison a shared batch."""
-        entry = self.registry.get(query.graph_key)  # KeyError for unknown keys
+        """Reject malformed queries before they can poison a shared batch.
+
+        Beyond shapes and ranges, *non-finite inputs* are rejected here: a
+        ``b`` with one NaN would coalesce into the shared blocked
+        ``solve_many`` and poison every column of the block -- submit-time
+        is the only place the blast radius is still one client.
+        """
+        # UnknownGraphError (a KeyError subclass) for unknown keys
+        entry = self.registry.get(query.graph_key)
         n = entry.graph.n
         if query.kind == "solve":
             b = query.payload["b"]
             if b.shape != (n,):
                 raise ValueError(
                     f"right-hand side must have shape ({n},), got {b.shape}"
+                )
+            if not np.all(np.isfinite(b)):
+                raise ValueError(
+                    "right-hand side contains non-finite entries (NaN/inf); "
+                    "a poisoned b would corrupt the shared blocked solve"
                 )
         elif query.kind == "resistance":
             u = np.asarray(query.payload["u"])
@@ -459,6 +606,14 @@ class LaplacianService:
                 raise ValueError(
                     f"{query.kind!r} queries need a registered FlowNetwork, "
                     f"got {type(entry.graph).__name__}"
+                )
+            # edge construction checks capacity > 0 / cost finite-ish, but a
+            # NaN passes every ordered comparison: refuse it explicitly
+            if not np.all(np.isfinite(entry.graph.capacities())) or not np.all(
+                np.isfinite(entry.graph.costs())
+            ):
+                raise ValueError(
+                    "registered flow network has non-finite capacities or costs"
                 )
             if query.kind == "gram":
                 m = entry.graph.m
@@ -478,17 +633,50 @@ class LaplacianService:
                     raise ValueError(
                         f"gram right-hand side must have shape ({n - 1},), got {rhs.shape}"
                     )
+                # isfinite first: a NaN d slips through `d <= 0` (NaN
+                # compares false) and would poison the aggregated weights
+                if not np.all(np.isfinite(d)):
+                    raise ValueError(
+                        "gram diagonal contains non-finite entries (NaN/inf)"
+                    )
                 if np.any(d <= 0.0):
                     raise ValueError("gram diagonal must be strictly positive")
+                if not np.all(np.isfinite(rhs)):
+                    raise ValueError(
+                        "gram right-hand side contains non-finite entries (NaN/inf)"
+                    )
+
+    # -- fault injection -------------------------------------------------------
+
+    def arm_faults(self, faults) -> FaultInjector:
+        """Arm a :class:`~repro.serve.faults.FaultPlan` on this service.
+
+        Accepts a plan, a pre-built
+        :class:`~repro.serve.faults.FaultInjector`, or ``None`` to disarm;
+        returns the active injector so callers can read fire counters
+        (``fired_total``, :meth:`~repro.serve.faults.FaultInjector.fire_counts`).
+        Faults only fire at the planner's seams -- builds, batch execution,
+        repair walks, output poisoning -- so an armed production service
+        degrades exactly the way the chaos suite proves it does.
+        """
+        return self.planner.arm_faults(faults)
 
     # -- metrics / lifecycle ---------------------------------------------------
 
     def metrics_snapshot(self) -> Dict[str, Any]:
-        """One dict with everything a dashboard would scrape."""
+        """One dict with everything a dashboard would scrape.
+
+        Includes the resilience ledger: ``failures_total`` /
+        ``failures_by_kind`` (queries whose tickets got an error),
+        ``retries_total``, ``breaker_open_total``, ``degraded_total`` and
+        ``deadline_misses`` (see :class:`~repro.serve.resilience.HealthStats`).
+        """
         cache_stats = self.cache.stats
-        return {
+        snapshot = {
             "queries_total": self.metrics.queries_total,
             "rejected_total": self.metrics.rejected_total,
+            "failures_total": self.metrics.failures_total,
+            "failures_by_kind": dict(self.metrics.failures_by_kind),
             "batches_total": self.metrics.batches_total,
             "batch_occupancy": self.metrics.batch_occupancy,
             "queries_by_kind": dict(self.metrics.queries_by_kind),
@@ -498,6 +686,8 @@ class LaplacianService:
             "cache_bytes": self.cache.total_bytes,
             "registered_graphs": len(self.registry),
         }
+        snapshot.update(self.health.as_dict())
+        return snapshot
 
     def close(self) -> None:
         """Flush outstanding queries and stop the background flusher."""
