@@ -1,0 +1,265 @@
+"""E-cluster -- sharded multi-process serving vs the single-process service.
+
+The two acceptance measurements of the ``repro.serve.cluster`` subsystem,
+appended to a ``BENCH_cluster.json`` trajectory at the repo root:
+
+* **correctness under sharding** -- the same seeded traffic trace (mixed
+  solves, resistance queries, batched resistance queries and interleaved
+  mutations over 8 graphs) replayed sequentially against a single-process
+  :class:`~repro.serve.LaplacianService` and a 4-worker
+  :class:`~repro.serve.ClusterService`.  Answers are compared event-for-event
+  with :func:`~repro.serve.compare_answers`; the gate is agreement to
+  ``1e-8`` with zero failed events on either side.
+* **throughput under concurrency** -- a longer read-mostly trace driven by 8
+  concurrent clients against a 1-worker cluster (one serving process behind
+  the same IPC front door) and a 4-worker cluster.  Both runs record
+  throughput, p50/p99 end-to-end latency and shed rate.  The hard floor --
+  the 4-worker cluster at >= ``SCALING_FLOOR`` x the single-process
+  throughput -- is only asserted when the machine actually has >= 4 usable
+  cores; on smaller containers the measured ratio is recorded with a
+  ``cpu_limited`` flag instead (process parallelism cannot beat the core
+  count).
+
+Workloads are 8 seeded graphs at ``n`` between ~200 and 400 -- grids,
+random weighted graphs, a power-law graph and a small-world graph -- so the
+hash ring has something real to shard.  Runs as a plain script (what CI
+executes); the module stays import-safe because spawned worker processes
+re-import ``__main__``:
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+"""
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.graphs import generators
+from repro.serve import (
+    ClusterService,
+    LaplacianService,
+    TrafficConfig,
+    WorkerConfig,
+    compare_answers,
+    generate_trace,
+    run_trace,
+    solve_rhs,
+)
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+#: sparsifier iteration knob used everywhere (paper constants swallow small n)
+T_OVERRIDE = 2
+
+#: worker count of the scaled cluster (the acceptance configuration)
+CLUSTER_WORKERS = 4
+
+#: asserted floor: 4-worker throughput over single-process throughput,
+#: gated on the container actually having >= CLUSTER_WORKERS usable cores
+SCALING_FLOOR = 2.0
+
+#: answers of the sharded and single-process replays must agree to this
+AGREEMENT_ATOL = 1e-8
+
+#: sequential correctness trace: the default mixed read/mutate workload
+CORRECTNESS_CONFIG = TrafficConfig(seed=17, queries=120, clients=4)
+
+#: concurrent throughput trace: read-mostly (mutations serialise on artifact
+#: rebuilds, which is a repair benchmark, not a scaling one)
+THROUGHPUT_CONFIG = TrafficConfig(
+    seed=23,
+    queries=400,
+    clients=8,
+    mix=(
+        ("solve", 0.35),
+        ("resistance", 0.30),
+        ("resistance_batch", 0.30),
+        ("mutate", 0.05),
+    ),
+)
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def make_workloads():
+    """Eight seeded graphs at n ~ 200..400 for the ring to shard."""
+    return [
+        ("grid-14x15", lambda: generators.grid_graph(14, 15)),
+        ("grid-16x20", lambda: generators.grid_graph(16, 20)),
+        ("grid-15x15", lambda: generators.grid_graph(15, 15)),
+        ("random-256", lambda: generators.random_weighted_graph(256, average_degree=6, seed=7)),
+        ("random-300", lambda: generators.random_weighted_graph(300, average_degree=6, seed=11)),
+        ("random-400", lambda: generators.random_weighted_graph(400, average_degree=5, seed=13)),
+        ("barabasi-albert-240", lambda: generators.barabasi_albert(240, attach=3, seed=19)),
+        ("watts-strogatz-280", lambda: generators.watts_strogatz(280, k=6, beta=0.1, seed=23)),
+    ]
+
+
+def fresh_graphs():
+    """Fresh identical graph objects, so each service mutates its own copies."""
+    return [factory() for _, factory in make_workloads()]
+
+
+def graph_sizes():
+    return [graph.n for graph in fresh_graphs()]
+
+
+def register_all(service, graphs):
+    return [service.register(g, name=name) for (name, _), g in zip(make_workloads(), graphs)]
+
+
+def prime(service, keys, sizes):
+    """One solve per graph: artifact builds happen here, not in the timing."""
+    for key, n in zip(keys, sizes):
+        service.solve(key, solve_rhs(n, rhs_seed=0))
+
+
+def measure_correctness(sizes) -> dict:
+    """Sequential replay on single-process vs 4-worker cluster; compare answers."""
+    trace = generate_trace(sizes, CORRECTNESS_CONFIG)
+
+    single = LaplacianService(t_override=T_OVERRIDE)
+    single_keys = register_all(single, fresh_graphs())
+    single_report = run_trace(
+        single, single_keys, sizes, trace, concurrent=False, record_answers=True
+    )
+    single.close()
+
+    with ClusterService(
+        num_workers=CLUSTER_WORKERS, worker_config=WorkerConfig(t_override=T_OVERRIDE)
+    ) as cluster:
+        cluster_keys = register_all(cluster, fresh_graphs())
+        shards = len({cluster.shard_of(key) for key in cluster_keys})
+        cluster_report = run_trace(
+            cluster, cluster_keys, sizes, trace, concurrent=False, record_answers=True
+        )
+
+    compared, worst = compare_answers(single_report, cluster_report, atol=AGREEMENT_ATOL)
+    return {
+        "queries": CORRECTNESS_CONFIG.queries,
+        "graphs": len(sizes),
+        "shards_used": shards,
+        "single_failed": single_report.failed,
+        "cluster_failed": cluster_report.failed,
+        "answers_compared": compared,
+        "max_abs_difference": worst,
+    }
+
+
+def _run_throughput(service, sizes, trace) -> dict:
+    keys = register_all(service, fresh_graphs())
+    prime(service, keys, sizes)
+    report = run_trace(service, keys, sizes, trace, concurrent=True)
+    if report.ok + report.shed + report.failed != report.events_total:
+        raise SystemExit(
+            f"FAIL: lost events -- ok={report.ok} shed={report.shed} "
+            f"failed={report.failed} of {report.events_total}"
+        )
+    summary = report.summary()
+    summary["throughput_qps"] = round(summary["throughput_qps"], 2)
+    for field in ("seconds", "shed_rate", "latency_p50", "latency_p99"):
+        summary[field] = round(summary[field], 5)
+    return summary
+
+
+def measure_throughput(sizes) -> dict:
+    """Concurrent trace on a 1-worker vs a 4-worker cluster."""
+    trace = generate_trace(sizes, THROUGHPUT_CONFIG)
+    config = WorkerConfig(t_override=T_OVERRIDE)
+    with ClusterService(num_workers=1, worker_config=config) as single:
+        single_summary = _run_throughput(single, sizes, trace)
+    with ClusterService(num_workers=CLUSTER_WORKERS, worker_config=config) as cluster:
+        cluster_summary = _run_throughput(cluster, sizes, trace)
+    cores = usable_cores()
+    ratio = cluster_summary["throughput_qps"] / max(
+        single_summary["throughput_qps"], 1e-12
+    )
+    return {
+        "queries": THROUGHPUT_CONFIG.queries,
+        "clients": THROUGHPUT_CONFIG.clients,
+        "cluster_workers": CLUSTER_WORKERS,
+        "cpu_count": cores,
+        "cpu_limited": cores < CLUSTER_WORKERS,
+        "single_process": single_summary,
+        "cluster": cluster_summary,
+        "throughput_ratio": round(ratio, 2),
+    }
+
+
+def append_trajectory(record: dict) -> None:
+    history = []
+    if TRAJECTORY_PATH.exists():
+        history = json.loads(TRAJECTORY_PATH.read_text())
+    history.append(record)
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def main():
+    sizes = graph_sizes()
+    started = time.perf_counter()
+
+    correctness = measure_correctness(sizes)
+    print(
+        f"correctness: {correctness['answers_compared']} answers compared across "
+        f"{correctness['graphs']} graphs on {correctness['shards_used']} shards, "
+        f"max |diff| = {correctness['max_abs_difference']:.2e}"
+    )
+    throughput = measure_throughput(sizes)
+    single_qps = throughput["single_process"]["throughput_qps"]
+    cluster_qps = throughput["cluster"]["throughput_qps"]
+    print(
+        f"throughput ({throughput['queries']} queries, {throughput['clients']} clients, "
+        f"{throughput['cpu_count']} cores): single {single_qps:.1f} q/s "
+        f"(p99 {throughput['single_process']['latency_p99']*1000:.1f}ms), "
+        f"{CLUSTER_WORKERS}-worker {cluster_qps:.1f} q/s "
+        f"(p99 {throughput['cluster']['latency_p99']*1000:.1f}ms) -> "
+        f"{throughput['throughput_ratio']:.2f}x"
+        + (" [cpu_limited]" if throughput["cpu_limited"] else "")
+    )
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "t_override": T_OVERRIDE,
+        "total_seconds": round(time.perf_counter() - started, 2),
+        "correctness": correctness,
+        "throughput": throughput,
+    }
+    append_trajectory(record)
+
+    if correctness["single_failed"] or correctness["cluster_failed"]:
+        raise SystemExit(
+            f"FAIL: correctness replay had failures (single="
+            f"{correctness['single_failed']}, cluster={correctness['cluster_failed']})"
+        )
+    if correctness["answers_compared"] == 0:
+        raise SystemExit("FAIL: correctness replay compared zero answers")
+    if correctness["max_abs_difference"] > AGREEMENT_ATOL:
+        raise SystemExit(
+            f"FAIL: sharded answers diverge from single-process by "
+            f"{correctness['max_abs_difference']:.3e} > {AGREEMENT_ATOL:.1e}"
+        )
+    if throughput["cpu_limited"]:
+        # a 4-worker cluster cannot scale past the core count; record the
+        # measured ratio instead of asserting a floor it physically cannot meet
+        print(
+            f"NOTE: only {throughput['cpu_count']} usable core(s); the "
+            f"{SCALING_FLOOR}x scaling floor needs >= {CLUSTER_WORKERS} and is skipped"
+        )
+    elif throughput["throughput_ratio"] < SCALING_FLOOR:
+        raise SystemExit(
+            f"FAIL: {CLUSTER_WORKERS}-worker throughput only "
+            f"{throughput['throughput_ratio']}x single-process, below the "
+            f"{SCALING_FLOOR}x floor on a {throughput['cpu_count']}-core machine"
+        )
+    print(f"PASS (trajectory appended to {TRAJECTORY_PATH.name})")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,18 +38,23 @@ class RoundLedger:
     """Accumulates BCC round charges of the algebraic pipeline."""
 
     entries: List[LedgerEntry] = field(default_factory=list)
+    #: running sum of every charge -- total_rounds is read once per
+    #: weight/leverage computation (hundreds of thousands of times in one
+    #: LP solve), so it must not rescan the entry list
+    _total: float = field(default=0.0, repr=False)
 
     def charge(self, operation: str, rounds: float, detail: str = "") -> float:
         """Record ``rounds`` rounds for ``operation`` and return the charge."""
         if rounds < 0:
             raise ValueError(f"cannot charge negative rounds ({rounds}) for {operation}")
         self.entries.append(LedgerEntry(operation=operation, rounds=float(rounds), detail=detail))
+        self._total += float(rounds)
         return float(rounds)
 
     @property
     def total_rounds(self) -> float:
         """Total rounds charged so far."""
-        return float(sum(e.rounds for e in self.entries))
+        return self._total
 
     def rounds_by_operation(self) -> Dict[str, float]:
         """Total rounds grouped by operation name."""
@@ -60,10 +65,12 @@ class RoundLedger:
 
     def reset(self) -> None:
         self.entries.clear()
+        self._total = 0.0
 
     def merge(self, other: "RoundLedger") -> None:
         """Absorb all entries of ``other``."""
         self.entries.extend(other.entries)
+        self._total += other._total
 
 
 def _bits_for_value_range(n: int, magnitude: float, eps: float) -> int:

@@ -113,6 +113,7 @@ def min_cost_max_flow(
     verify_against_baseline: bool = False,
     gram_solver_factory: Optional[Callable[..., Any]] = None,
     phase_one: Optional[Tuple[float, Dict[EdgeKey, float]]] = None,
+    resistance_oracle: Optional[Any] = None,
 ) -> MinCostFlowResult:
     """Compute an exact minimum cost maximum ``s``-``t`` flow (Theorem 1.1).
 
@@ -142,6 +143,10 @@ def min_cost_max_flow(
         Optional precomputed ``(max_flow_value, witness_flow)`` pair (a cached
         serving artifact); the communication ledger is still charged at the
         theorem bound for fixing ``F*``.
+    resistance_oracle:
+        Serving hook forwarded to the ``"lee-sidford"`` engine's graph-mode
+        Lewis-weight computations (ignored by ``"barrier"``); see
+        :class:`~repro.lp.lee_sidford.LeeSidfordSolver`.
     """
     if engine not in ("barrier", "lee-sidford"):
         raise ValueError(f"unknown engine {engine!r}; use 'barrier' or 'lee-sidford'")
@@ -205,7 +210,9 @@ def min_cost_max_flow(
             solver = BarrierIPM(flow_lp.problem, comm=comm)
             solution = solver.solve(interior, eps=eps)
         else:
-            solver = LeeSidfordSolver(flow_lp.problem, comm=comm, seed=seed)
+            solver = LeeSidfordSolver(
+                flow_lp.problem, comm=comm, seed=seed, resistance_oracle=resistance_oracle
+            )
             solution = solver.solve(interior, eps=eps)
         lp_iterations = solution.iterations
         fractional = flow_lp.extract_flow(solution.x)

@@ -118,6 +118,7 @@ def compute_apx_weights(
     max_iterations: Optional[int] = None,
     graph=None,
     resistance_oracle=None,
+    rows=None,
 ) -> LewisWeightReport:
     """``ComputeApxWeights(M, p, w0, eta)`` (Algorithm 7).
 
@@ -155,6 +156,18 @@ def compute_apx_weights(
         is enforced eagerly: a non-exact oracle whose (possibly
         repair-widened) ``eta_effective`` is looser than the per-iteration
         leverage accuracy ``min(1/2, eta/4)`` is rejected up front.
+    rows:
+        Graph mode for incidence-structured *matrices* whose rows collapse
+        onto repeated vertex pairs (parallel edges): a pair ``(row_pair,
+        row_norm2)`` declaring that matrix row ``r`` is a scalar multiple of
+        graph edge ``row_pair[r]`` with squared Euclidean norm
+        ``row_norm2[r]``.  The weights then live on *rows* (length
+        ``len(row_pair)``, not ``graph.m``) and each iteration computes one
+        resistance per distinct pair -- parallel rows share it -- so the cost
+        stays one grounded factorisation regardless of multiplicity.
+        ``graph``'s edge weights must equal the aggregated squared row norms
+        ``bincount(row_pair, row_norm2)`` (validated up front), which is what
+        makes the uniform-iterate oracle shortcut sound.
     """
     if not (0 < p < 4):
         raise ValueError(f"p must lie in (0, 4), got {p}")
@@ -174,7 +187,19 @@ def compute_apx_weights(
                 f"needed for eta={eta}"
             )
         graph_edges = graph.edge_array()
-        m = graph.m
+        if rows is not None:
+            row_pair = np.asarray(rows[0], dtype=np.int64)
+            row_norm2 = np.asarray(rows[1], dtype=float)
+            aggregated = np.bincount(row_pair, weights=row_norm2, minlength=graph.m)
+            if not np.allclose(aggregated, graph_edges[2], rtol=1e-9, atol=0.0):
+                raise ValueError(
+                    "rows mode requires graph edge weights equal to the "
+                    "aggregated squared row norms bincount(row_pair, row_norm2)"
+                )
+            rows = (row_pair, row_norm2)
+            m = row_pair.shape[0]
+        else:
+            m = graph.m
         # rank of the weighted incidence matrix
         n = graph.n - len(graph.connected_components())
     elif sp.issparse(M):
@@ -210,6 +235,7 @@ def compute_apx_weights(
                 use_sketching,
                 resistance_oracle,
                 rng,
+                rows=rows,
             )
             report.leverage_calls += 1
             if comm is not None:
@@ -246,6 +272,7 @@ def _graph_iteration_scores(
     use_sketching: bool,
     resistance_oracle,
     rng: np.random.Generator,
+    rows=None,
 ) -> np.ndarray:
     """One fixed-point iteration's leverage scores in graph mode.
 
@@ -255,12 +282,43 @@ def _graph_iteration_scores(
     those iterations read straight off the shared base-graph oracle (or build
     one for the base graph).  Non-uniform iterates genuinely change the
     spectrum and compute fresh scores on the reweighted graph.
+
+    With ``rows`` (see :func:`compute_apx_weights`) the weights live on the
+    rows of an incidence-structured matrix: the reweighted graph carries pair
+    weights ``bincount(row_pair, w^{1-2/p} row_norm2)`` and row ``r``'s score
+    is ``w_r^{1-2/p} row_norm2_r R(pair_r)`` -- one resistance per distinct
+    pair, shared by all its parallel rows.
     """
     from repro.graphs.graph import WeightedGraph
 
     u, v, w_graph = graph_edges
     s2 = w ** (1.0 - 2.0 / p)
-    if np.all(s2 == s2[0]):
+    uniform = bool(np.all(s2 == s2[0]))
+    if rows is None:
+        if uniform:
+            if resistance_oracle is not None or use_sketching:
+                lev = approximate_edge_leverage_scores(
+                    graph,
+                    leverage_eta,
+                    oracle=resistance_oracle,
+                    seed=int(rng.integers(0, 2 ** 31)),
+                )
+                return lev.scores
+            return _exact_edge_leverage_scores(graph)
+        reweighted_w = w_graph * s2
+        if use_sketching:
+            reweighted = WeightedGraph(graph.n)
+            reweighted.add_edges(u, v, reweighted_w)
+            lev = approximate_edge_leverage_scores(
+                reweighted, leverage_eta, seed=int(rng.integers(0, 2 ** 31))
+            )
+            return lev.scores
+        return reweighted_w * _pair_resistances_from_edges(graph.n, u, v, reweighted_w)
+
+    row_pair, row_norm2 = rows
+    if uniform:
+        # pair weights are s2[0] * w_graph: resistances of the base graph,
+        # rescaled -- and the rescaling cancels against s2 in the score
         if resistance_oracle is not None or use_sketching:
             lev = approximate_edge_leverage_scores(
                 graph,
@@ -268,24 +326,74 @@ def _graph_iteration_scores(
                 oracle=resistance_oracle,
                 seed=int(rng.integers(0, 2 ** 31)),
             )
-            return lev.scores
-        return _exact_edge_leverage_scores(graph)
-    reweighted = WeightedGraph(graph.n)
-    reweighted.add_edges(u, v, w_graph * s2)
+            base_resist = lev.scores / w_graph
+        else:
+            base_resist = _exact_edge_resistances(graph)
+        return row_norm2 * base_resist[row_pair]
+    pair_w = np.bincount(row_pair, weights=s2 * row_norm2, minlength=w_graph.shape[0])
     if use_sketching:
+        reweighted = WeightedGraph(graph.n)
+        reweighted.add_edges(u, v, pair_w)
         lev = approximate_edge_leverage_scores(
             reweighted, leverage_eta, seed=int(rng.integers(0, 2 ** 31))
         )
-        return lev.scores
-    return _exact_edge_leverage_scores(reweighted)
+        resist = lev.scores / pair_w
+    else:
+        resist = _pair_resistances_from_edges(graph.n, u, v, pair_w)
+    return s2 * row_norm2 * resist[row_pair]
+
+
+#: below this vertex count, exact resistances go through a dense eigh-based
+#: pseudoinverse of the Laplacian -- far cheaper than a sparse factorisation
+#: at the sizes the LP solver's auxiliary graphs actually have
+_DENSE_RESISTANCE_LIMIT = 128
+
+
+def _pair_resistances_from_edges(
+    n: int, u: np.ndarray, v: np.ndarray, weights: np.ndarray, graph=None
+) -> np.ndarray:
+    """Effective resistance of every edge of the weighted edge list.
+
+    Small vertex sets assemble the dense Laplacian and read resistances off
+    its pseudoinverse (exact for any component structure, and an order of
+    magnitude cheaper than setting up a sparse factorisation at these
+    sizes); larger ones go through the sparse grounded factorisation,
+    reusing ``graph`` when the caller already has one.
+    """
+    if n <= _DENSE_RESISTANCE_LIMIT:
+        L = np.zeros((n, n))
+        np.add.at(L, (u, u), weights)
+        np.add.at(L, (v, v), weights)
+        np.add.at(L, (u, v), -weights)
+        np.add.at(L, (v, u), -weights)
+        pinv = np.linalg.pinv(L, hermitian=True)
+        diag = np.diag(pinv)
+        return diag[u] + diag[v] - 2.0 * pinv[u, v]
+    from repro.graphs.graph import WeightedGraph
+    from repro.linalg.sparse_backend import GroundedLaplacianSolver
+
+    if graph is None:
+        graph = WeightedGraph(n)
+        graph.add_edges(u, v, weights)
+    return GroundedLaplacianSolver(graph).pair_resistances(u, v)
+
+
+def _exact_edge_resistances(graph) -> np.ndarray:
+    """Exact effective resistance of every edge of ``graph``."""
+    u, v, weights = graph.edge_array()
+    return _pair_resistances_from_edges(graph.n, u, v, weights, graph=graph)
 
 
 def _exact_edge_leverage_scores(graph) -> np.ndarray:
-    """Exact edge leverage scores ``w_e R(u, v)`` via the incidence matrix."""
-    from repro.linalg.sparse_backend import incidence_csr
+    """Exact edge leverage scores ``w_e R(u, v)`` via one grounded factorisation.
 
-    B, weights = incidence_csr(graph)
-    return exact_leverage_scores(sp.diags(np.sqrt(weights)) @ B)
+    Spielman-Srivastava: the leverage score of edge ``e = (u, v)`` in
+    ``W^{1/2} B`` is ``w_e`` times the effective resistance of the pair, so
+    one sparse grounded factorisation plus ``m`` triangular solves replaces
+    the dense pseudoinverse of the reweighted incidence matrix.
+    """
+    _, _, weights = graph.edge_array()
+    return weights * _exact_edge_resistances(graph)
 
 
 def initial_weight_iteration_count(n: int, m: int, p_target: float) -> int:

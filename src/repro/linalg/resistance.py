@@ -223,6 +223,13 @@ class SketchedResistanceOracle:
         weight = float(weight)
         if weight <= 0:
             raise ValueError(f"edge weights must be positive, got {weight}")
+        if not self.exact and not self._embedding.flags.writeable:
+            # shared-memory backed oracle (see repro.serve.shm): the sketch
+            # is a read-only view other processes serve from concurrently,
+            # so the in-place rank-1 repair is refused and the caller
+            # rebuilds.  Exact mode reallocates instead of mutating, so a
+            # read-only base embedding repairs fine there.
+            return False
         if self._labels[u] != self._labels[v]:
             return False
         chi = np.zeros(self.n)
@@ -276,6 +283,51 @@ class SketchedResistanceOracle:
             )
         u, v, w = graph.edge_array()
         return w * self.pair_resistances(u, v)
+
+    def share_arrays(self):
+        """Arrays + scalar metadata for shared-memory publication.
+
+        The ``(arrays, meta)`` pair is what
+        :meth:`repro.serve.shm.SharedArtifactStore.publish` packs into a
+        segment; :meth:`from_shared` inverts it in the attaching process.
+        """
+        arrays = {"embedding": self._embedding, "labels": self._labels}
+        meta = {
+            "n": int(self.n),
+            "eta": float(self.eta),
+            "exact": bool(self.exact),
+            "k": int(self.k),
+            "delta": self.delta,
+            "ambient": int(self._ambient),
+            "built_m": int(self._built_m),
+            "appended": int(self.appended),
+            "random_bits": int(self.random_bits),
+            "seed_bits": int(self.seed_bits),
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_shared(cls, arrays, meta) -> "SketchedResistanceOracle":
+        """Rebuild an oracle over shared read-only views, skipping the build.
+
+        The attached views serve pair queries exactly like privately owned
+        arrays; :meth:`append_edge` sees the read-only flag on the sketched
+        embedding and refuses in-place repair, so mutations rebuild.
+        """
+        oracle = cls.__new__(cls)
+        oracle.n = int(meta["n"])
+        oracle.eta = float(meta["eta"])
+        oracle.exact = bool(meta["exact"])
+        oracle.k = int(meta["k"])
+        oracle.delta = meta["delta"]
+        oracle._ambient = int(meta["ambient"])
+        oracle._built_m = int(meta["built_m"])
+        oracle.appended = int(meta["appended"])
+        oracle.random_bits = int(meta["random_bits"])
+        oracle.seed_bits = int(meta["seed_bits"])
+        oracle._embedding = arrays["embedding"]
+        oracle._labels = arrays["labels"]
+        return oracle
 
     def nbytes(self) -> int:
         """Resident size for cache accounting (the embedding dominates)."""

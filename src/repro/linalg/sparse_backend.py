@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -547,6 +547,11 @@ class ResistanceOracle:
         delta = float(delta)
         if delta == 0.0:
             return True
+        if not self._S.flags.writeable:
+            # shared-memory backed oracle (see repro.serve.shm): the inverse
+            # is a read-only view other processes serve from concurrently, so
+            # in-place repair is refused and the caller rebuilds instead
+            return False
         if self._labels[u] != self._labels[v]:
             return False
         if self._repairs >= self.max_updates:
@@ -558,6 +563,40 @@ class ResistanceOracle:
         self._S -= np.outer((delta / denom) * y, y)
         self._repairs += 1
         return True
+
+    def share_arrays(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        """Arrays + scalar metadata for shared-memory publication.
+
+        The returned ``(arrays, meta)`` pair is what
+        :meth:`repro.serve.shm.SharedArtifactStore.publish` packs into a
+        segment; :meth:`from_shared` inverts it in the attaching process.
+        """
+        arrays = {"S": self._S, "labels": self._labels}
+        meta = {
+            "n": int(self.n),
+            "max_updates": int(self.max_updates),
+            "repairs": int(self._repairs),
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_shared(
+        cls, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+    ) -> "ResistanceOracle":
+        """Rebuild an oracle over shared read-only views, skipping all solves.
+
+        The views come straight out of an attached shared-memory segment
+        (zero-copy); queries read them exactly like privately owned arrays,
+        while :meth:`apply_update` sees the read-only flag and refuses
+        in-place repair, so mutations fall back to a rebuild.
+        """
+        oracle = cls.__new__(cls)
+        oracle.n = int(meta["n"])
+        oracle.max_updates = int(meta["max_updates"])
+        oracle._repairs = int(meta["repairs"])
+        oracle._S = arrays["S"]
+        oracle._labels = arrays["labels"]
+        return oracle
 
     def nbytes(self) -> int:
         """Resident size for cache accounting (the dense ``n x n`` dominates)."""

@@ -31,10 +31,11 @@ from typing import List, Optional
 import numpy as np
 
 from repro.congest.ledger import CommunicationPrimitives
+from repro.graphs.graph import WeightedGraph
 from repro.linalg.lewis import compute_apx_weights, lewis_p_parameter, lewis_regularisation
 from repro.linalg.mixed_ball import project_mixed_ball
 from repro.lp.barriers import BarrierFunction
-from repro.lp.gram import scale_rows
+from repro.lp.gram import detect_incidence_structure, scale_rows
 from repro.lp.problem import LPProblem, LPSolution
 
 
@@ -100,6 +101,13 @@ class LeeSidfordSolver:
     use_sketching:
         Forwarded to the Lewis-weight computation (JL-sketched leverage scores
         versus exact ones).
+    resistance_oracle:
+        Serving hook forwarded to graph-mode Lewis-weight computations (see
+        :func:`repro.linalg.lewis.compute_apx_weights`): a resident
+        sketched-resistance oracle for the auxiliary graph that lets uniform
+        iterates read leverage scores off shared serving artifacts.  Only
+        consulted when ``A`` is incidence-structured with a bijective
+        row/pair map.
     """
 
     def __init__(
@@ -111,6 +119,7 @@ class LeeSidfordSolver:
         comm: Optional[CommunicationPrimitives] = None,
         centering_repeats: int = 3,
         seed: Optional[int] = None,
+        resistance_oracle=None,
     ):
         self.problem = problem
         self.constants = lee_sidford_constants(problem.m, problem.n)
@@ -121,6 +130,14 @@ class LeeSidfordSolver:
         self.centering_repeats = int(centering_repeats)
         self.rng = np.random.default_rng(seed)
         self.report = LeeSidfordReport()
+        self.resistance_oracle = resistance_oracle
+        # Lemma 5.1 fast path: if A is incidence-structured, every
+        # Lewis-weight recomputation can run in graph mode (leverage scores =
+        # weighted effective resistances on the auxiliary graph, one sparse
+        # grounded factorisation per iteration) instead of sketching or
+        # pinv-ing the reweighted matrix.  Rows that collapse onto repeated
+        # pairs (anti-parallel flow edges) share one resistance per pair.
+        self.structure = detect_incidence_structure(problem.A)
 
     # -- inner machinery -------------------------------------------------------------
 
@@ -163,23 +180,68 @@ class LeeSidfordSolver:
         weighted = math.sqrt(float(np.sum(w * z * z)))
         return float(np.max(np.abs(z))) + self.constants.C_norm * weighted
 
+    def _lewis_weights(
+        self,
+        phi2: np.ndarray,
+        w0: Optional[np.ndarray],
+        eta: float,
+        max_iterations: int,
+    ):
+        """Approximate Lewis weights of ``(Phi'')^{-1/2} A``, per row.
+
+        On incidence-structured problems the reweighted matrix *is* the
+        weighted incidence matrix of the auxiliary graph (row ``r`` has
+        squared norm ``scale_r^2 / phi2_r``), so the computation runs in
+        graph-``rows`` mode -- each fixed-point iteration costs one sparse
+        grounded factorisation instead of a dense pseudoinverse or a JL
+        regression loop, with parallel rows of one pair sharing a single
+        resistance.  Generic problems take the matrix path unchanged.
+        """
+        structure = self.structure
+        if structure is None:
+            A_x = scale_rows(self.problem.A, 1.0 / np.sqrt(phi2))
+            return compute_apx_weights(
+                A_x,
+                self.constants.p,
+                w0=w0,
+                eta=eta,
+                rng=self.rng,
+                comm=self.comm,
+                use_sketching=self.use_sketching,
+                max_iterations=max_iterations,
+            )
+        row_norm2 = 1.0 / phi2
+        if structure.row_scale2 is not None:
+            row_norm2 = row_norm2 * structure.row_scale2
+        graph = WeightedGraph(structure.n + 1)
+        # pairs are stored in the canonical order WeightedGraph.edge_array
+        # uses, so pair index == auxiliary-graph edge index
+        graph.add_edges(structure.pair_u, structure.pair_v, structure.aggregate(1.0 / phi2))
+        return compute_apx_weights(
+            p=self.constants.p,
+            w0=w0,
+            eta=eta,
+            rng=self.rng,
+            comm=self.comm,
+            use_sketching=self.use_sketching,
+            max_iterations=max_iterations,
+            graph=graph,
+            resistance_oracle=self.resistance_oracle,
+            rows=(structure.row_pair, row_norm2),
+        )
+
     def _recompute_weights(
         self, barrier: BarrierFunction, x_new: np.ndarray, w: np.ndarray, delta: float
     ) -> np.ndarray:
         """Lines 4-6 of CenteringInexact: move ``log w`` towards the new Lewis weights."""
         constants = self.constants
         phi2 = barrier.hessian(x_new)
-        A_xnew = scale_rows(self.problem.A, 1.0 / np.sqrt(phi2))
         target_eta = min(0.5, math.expm1(constants.R))
-        weights_report = compute_apx_weights(
-            A_xnew,
-            constants.p,
-            w0=np.maximum(w - constants.c_0, constants.c_0),
-            eta=max(target_eta, 1e-3),
-            rng=self.rng,
-            comm=self.comm,
-            use_sketching=self.use_sketching,
-            max_iterations=4,
+        weights_report = self._lewis_weights(
+            phi2,
+            np.maximum(w - constants.c_0, constants.c_0),
+            max(target_eta, 1e-3),
+            4,
         )
         self.report.weight_recomputations += 1
         z = np.log(np.maximum(weights_report.weights + constants.c_0, 1e-300))
@@ -284,16 +346,7 @@ class LeeSidfordSolver:
         # initial regularised Lewis weights at x0
         if self.reweight:
             phi2 = barrier.hessian(np.asarray(x0, dtype=float))
-            A_x0 = scale_rows(problem.A, 1.0 / np.sqrt(phi2))
-            init = compute_apx_weights(
-                A_x0,
-                self.constants.p,
-                eta=0.25,
-                rng=self.rng,
-                comm=self.comm,
-                use_sketching=self.use_sketching,
-                max_iterations=6,
-            )
+            init = self._lewis_weights(phi2, None, 0.25, 6)
             w = init.weights + self.constants.c_0
         else:
             w = np.ones(m)

@@ -34,6 +34,26 @@ something:
   (:class:`FaultPlan` / :class:`FaultInjector`, armed via
   :meth:`LaplacianService.arm_faults`) so every containment behaviour is
   provable on demand.
+* :mod:`repro.serve.cluster` -- multi-process scale-out: the
+  :class:`ClusterService` front door shards registered graphs across worker
+  processes by consistent hashing on the content fingerprint
+  (:class:`HashRing`), forwards mutations to the owning shard, respawns
+  crashed workers (in-flight queries fail with the typed
+  :class:`WorkerCrashedError`, never silently) and merges per-worker
+  metrics.
+* :mod:`repro.serve.worker` -- one shard process: an in-process service
+  behind a pipe, a :class:`BackgroundBuilder` that moves sketch builds off
+  the flush path (the grounded exact fallback serves, non-degraded, until
+  the sketch is resident) and shared-memory publication of oracle
+  artifacts.
+* :mod:`repro.serve.shm` -- the :class:`SharedArtifactStore`: big
+  read-only artifacts (dense oracle inverses, JL embeddings) live once in
+  POSIX shared memory; workers attach zero-copy views and respawned
+  workers re-attach instead of rebuilding.
+* :mod:`repro.serve.traffic` -- seeded replayable traffic traces
+  (heavy-tailed graph popularity, mixed kinds, interleaved mutations, many
+  clients) with p50/p99/throughput/shed-rate reporting, shared by the
+  cluster tests and ``benchmarks/bench_cluster.py``.
 
 Quickstart::
 
@@ -49,6 +69,12 @@ Quickstart::
 """
 
 from repro.serve.artifacts import ArtifactCache, CacheStats, estimate_nbytes
+from repro.serve.cluster import (
+    ClusterService,
+    ClusterTicket,
+    HashRing,
+    WorkerCrashedError,
+)
 from repro.serve.faults import (
     FAULT_OPS,
     FaultInjectionError,
@@ -95,8 +121,54 @@ from repro.serve.service import (
     ServiceMetrics,
     ServiceOverloadedError,
 )
+from repro.serve.shm import (
+    AttachedArtifact,
+    SharedArtifactStore,
+    ShmArraySpec,
+    ShmArtifactSpec,
+    csr_from_arrays,
+    csr_to_arrays,
+)
+from repro.serve.traffic import (
+    TraceEvent,
+    TrafficConfig,
+    TrafficReport,
+    TrafficTrace,
+    compare_answers,
+    generate_trace,
+    run_trace,
+    solve_rhs,
+)
+from repro.serve.worker import (
+    BackgroundBuilder,
+    RemoteResult,
+    WorkerConfig,
+    worker_main,
+)
 
 __all__ = [
+    "ClusterService",
+    "ClusterTicket",
+    "HashRing",
+    "WorkerCrashedError",
+    "AttachedArtifact",
+    "SharedArtifactStore",
+    "ShmArraySpec",
+    "ShmArtifactSpec",
+    "csr_from_arrays",
+    "csr_to_arrays",
+    "TraceEvent",
+    "TrafficConfig",
+    "TrafficReport",
+    "TrafficTrace",
+    "compare_answers",
+    "generate_trace",
+    "run_trace",
+    "solve_rhs",
+    "BackgroundBuilder",
+    "RemoteResult",
+    "WorkerConfig",
+    "worker_main",
     "ArtifactCache",
     "CacheStats",
     "estimate_nbytes",

@@ -335,6 +335,35 @@ class ArtifactCache:
             self.stats.invalidations += 1
             return True
 
+    def swap_value(
+        self,
+        graph_key: str,
+        version: int,
+        kind: str,
+        params: Tuple[Hashable, ...],
+        value: Any,
+    ) -> bool:
+        """Replace one entry's value in place, keeping its stats and LRU slot.
+
+        Used by the cluster worker after publishing an artifact to shared
+        memory: the freshly built private object is swapped for its
+        shm-backed equivalent (same answers, physical pages shared with
+        every other worker and survivable across respawns) without
+        perturbing hit counters or eviction order.  Byte accounting is
+        re-estimated from the new value.  Returns whether the entry
+        existed.
+        """
+        key = self.make_key(graph_key, version, kind, params)
+        nbytes = estimate_nbytes(value)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            self._total_bytes += nbytes - entry.nbytes
+            entry.value = value
+            entry.nbytes = nbytes
+            return True
+
     def contains(
         self, graph_key: str, version: int, kind: str, params: Tuple[Hashable, ...] = ()
     ) -> bool:

@@ -1,0 +1,649 @@
+"""Multi-process sharded serving: the `ClusterService` front door.
+
+Scales the single-process :class:`~repro.serve.service.LaplacianService`
+across worker processes.  Graphs are sharded by **consistent hashing on
+their content fingerprint** (:class:`HashRing`): each registered graph is
+owned by exactly one worker, which hosts an ordinary in-process service for
+it (:mod:`repro.serve.worker`), so every per-graph artifact -- grounded
+factorisation, dense or sketched resistance oracle, gram factorisations --
+lives exactly once in the cluster, and big read-only oracles live in
+*shared memory* (:mod:`repro.serve.shm`) where respawned workers re-attach
+them instead of rebuilding.
+
+The front door mirrors the single-process API surface (``solve`` /
+``solve_many`` / ``effective_resistance`` / ``effective_resistances`` /
+``certify`` / ``min_cost_flow`` / ``solve_gram`` / ``metrics_snapshot``),
+so callers swap one constructor and keep their code.  Mutations go through
+:meth:`ClusterService.mutate`, which forwards to the owning shard and keeps
+the parent's copy in lockstep -- the parent copy is what a respawn
+re-registers after a crash.
+
+Crash semantics: a worker that dies mid-query fails that worker's in-flight
+tickets with the typed :class:`WorkerCrashedError` (no ticket is ever lost
+or left hanging); the parent then respawns the shard, re-registers its
+graphs from the parent-side copies and re-attaches every shared-memory
+artifact it had adopted from the dead worker, after which the full graph
+set serves again.  Submissions racing the respawn window fail with the same
+typed error, never silently.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import multiprocessing as mp
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.planner import (
+    Query,
+    certify_query,
+    flow_query,
+    gram_query,
+    resistance_batch_query,
+    resistance_query,
+    solve_query,
+)
+from repro.serve.registry import graph_fingerprint
+from repro.serve.service import ServiceOverloadedError
+from repro.serve.shm import SharedArtifactStore, ShmArtifactSpec
+from repro.serve.worker import RemoteResult, WorkerConfig, worker_main
+
+#: how long a control round-trip (register/mutate/metrics/shutdown) may take
+#: before the worker is declared unresponsive
+CONTROL_TIMEOUT_SECONDS = 120.0
+
+#: parent-side end-to-end latency window (matches ServiceMetrics)
+LATENCY_WINDOW = 8192
+
+
+class WorkerCrashedError(RuntimeError):
+    """A shard process died with this query (or control request) in flight.
+
+    Typed so clients can tell infrastructure loss from computational
+    failure: the query itself was fine, the process serving it is gone.
+    Retrying after the respawn (which the cluster performs automatically)
+    is expected to succeed.
+    """
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Each node is hashed at ``replicas`` points on a 64-bit ring; a key is
+    owned by the first node point at or after its own hash (wrapping).
+    Adding or removing one node therefore only moves the keys adjacent to
+    that node's points -- the property that makes shard counts changeable
+    without re-homing every graph.
+    """
+
+    def __init__(self, nodes: Sequence[str] = (), replicas: int = 64):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._points: List[Tuple[int, str]] = []
+        self._nodes: set = set()
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int.from_bytes(hashlib.sha256(value.encode()).digest()[:8], "big")
+
+    def add(self, node: str) -> None:
+        """Insert ``node`` at its ``replicas`` ring points."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.replicas):
+            bisect.insort(self._points, (self._hash(f"{node}#{i}"), node))
+
+    def remove(self, node: str) -> None:
+        """Remove ``node``'s ring points (keys re-home to their successors)."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [(p, n) for p, n in self._points if n != node]
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """The current node set, sorted."""
+        return tuple(sorted(self._nodes))
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key`` (first ring point at/after its hash)."""
+        if not self._points:
+            raise ValueError("hash ring has no nodes")
+        index = bisect.bisect_left(self._points, (self._hash(key), ""))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+
+class ClusterTicket:
+    """Parent-side future for one forwarded query (or control request)."""
+
+    def __init__(self, query: Optional[Query] = None):
+        self.query = query
+        self.submitted_at = time.perf_counter()
+        self._event = threading.Event()
+        self._result: Optional[RemoteResult] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        """Whether a reply (or failure) has arrived."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> RemoteResult:
+        """Block for the outcome; re-raises the worker's typed error."""
+        if not self._event.wait(timeout=timeout):
+            raise TimeoutError("cluster query still in flight")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _resolve(self, result: RemoteResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class _GraphRecord:
+    """Parent-side state for one registered graph."""
+
+    key: str
+    graph: Any  # the parent's lockstep copy (mutations applied on ack)
+    fingerprint: str  # registration-time content fingerprint: the shard key
+    worker: str
+
+
+class _WorkerHandle:
+    """One shard: process, pipe, in-flight tickets, receiver thread."""
+
+    def __init__(self, name: str, process, conn):
+        self.name = name
+        self.process = process
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.inflight: Dict[int, ClusterTicket] = {}
+        self.inflight_lock = threading.Lock()
+        self.alive = True
+        self.receiver: Optional[threading.Thread] = None
+
+    def send(self, message: Tuple) -> None:
+        """Thread-safe pipe send; raises WorkerCrashedError if the shard died."""
+        if not self.alive:
+            raise WorkerCrashedError(f"worker {self.name!r} is down (respawn pending)")
+        try:
+            with self.send_lock:
+                self.conn.send(message)
+        except (BrokenPipeError, OSError) as error:
+            raise WorkerCrashedError(
+                f"worker {self.name!r} pipe closed mid-send"
+            ) from error
+
+
+class ClusterService:
+    """Sharded multi-process front door with the single-process API surface.
+
+    Spawns ``num_workers`` processes (``spawn`` start method: fork-safety
+    with the parent's receiver threads, and identical behaviour across
+    platforms and Python versions), each hosting one
+    :class:`~repro.serve.service.LaplacianService` configured by
+    ``worker_config``.  ``max_inflight`` is parent-side admission control
+    per shard: submissions beyond it shed with
+    :class:`~repro.serve.service.ServiceOverloadedError`, mirroring
+    ``FlushPolicy.max_pending`` in-process.
+
+    Registered graphs are *copied* into the cluster: the caller's object is
+    not referenced afterwards, and all mutations must go through
+    :meth:`mutate` (which forwards to the owning shard and keeps the
+    parent's copy in lockstep for crash recovery).  Use the service as a
+    context manager or call :meth:`close`, which also unlinks every
+    shared-memory segment the cluster published.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        worker_config: Optional[WorkerConfig] = None,
+        replicas: int = 64,
+        max_inflight: Optional[int] = None,
+        respawn: bool = True,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self._config = worker_config if worker_config is not None else WorkerConfig()
+        self._ctx = mp.get_context("spawn")
+        self._seq = itertools.count()
+        self._lock = threading.RLock()
+        self._closed = False
+        self.respawn_enabled = respawn
+        self.max_inflight = max_inflight
+        self._store = SharedArtifactStore()
+        self._graphs: Dict[str, _GraphRecord] = {}
+        self._workers: Dict[str, _WorkerHandle] = {}
+        self.ring = HashRing(replicas=replicas)
+        # parent-side counters (worker counters are merged on top)
+        self._latencies: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
+        self._queries_total = 0
+        self._rejected_total = 0
+        self._failures_total = 0
+        self._crashes_total = 0
+        self._respawns_total = 0
+        for i in range(num_workers):
+            name = f"worker-{i}"
+            self.ring.add(name)
+            self._workers[name] = self._spawn(name)
+
+    # -- process management ----------------------------------------------------
+
+    def _spawn(self, name: str) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self._config),
+            name=f"repro-{name}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(name, process, parent_conn)
+        handle.receiver = threading.Thread(
+            target=self._receive_loop, args=(handle,), name=f"recv-{name}", daemon=True
+        )
+        handle.receiver.start()
+        return handle
+
+    def _receive_loop(self, handle: _WorkerHandle) -> None:
+        while True:
+            try:
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                self._on_worker_down(handle)
+                return
+            tag = message[0]
+            if tag == "published":
+                spec: ShmArtifactSpec = message[1]
+                self._store.adopt(spec)
+            elif tag == "reply":
+                _, seq, ok, payload = message
+                with handle.inflight_lock:
+                    ticket = handle.inflight.pop(seq, None)
+                if ticket is None:
+                    continue
+                if ok:
+                    ticket._resolve(payload)
+                    if ticket.query is not None:
+                        self._latencies.append(
+                            time.perf_counter() - ticket.submitted_at
+                        )
+                else:
+                    self._failures_total += 1
+                    ticket._fail(payload)
+
+    def _on_worker_down(self, handle: _WorkerHandle) -> None:
+        handle.alive = False
+        with handle.inflight_lock:
+            orphans = list(handle.inflight.values())
+            handle.inflight.clear()
+        for ticket in orphans:
+            self._failures_total += 1
+            ticket._fail(
+                WorkerCrashedError(
+                    f"worker {handle.name!r} died with this request in flight"
+                )
+            )
+        with self._lock:
+            if self._closed or not self.respawn_enabled:
+                return
+            if self._workers.get(handle.name) is not handle:
+                return  # already respawned by another path
+            self._crashes_total += 1
+            try:
+                handle.process.join(timeout=5.0)
+            except Exception:
+                pass
+            replacement = self._spawn(handle.name)
+            self._workers[handle.name] = replacement
+            self._respawns_total += 1
+            records = [
+                record
+                for record in self._graphs.values()
+                if record.worker == handle.name
+            ]
+        # re-register outside the cluster lock: the replacement's receiver
+        # thread resolves these control requests
+        for record in records:
+            try:
+                self._register_on_worker(replacement, record)
+            except Exception:
+                # the replacement died immediately; its own receiver loop
+                # will run this recovery again
+                return
+
+    def _register_on_worker(self, handle: _WorkerHandle, record: _GraphRecord) -> None:
+        specs = [
+            spec
+            for spec in self._store.owned_specs()
+            if spec.graph_key == graph_fingerprint(record.graph)
+            and spec.version == record.graph.version
+        ]
+        self._request(handle, "register", record.key, record.graph, specs)
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _request(self, handle: _WorkerHandle, tag: str, *args) -> Any:
+        """Synchronous control round-trip with a liveness timeout."""
+        seq = next(self._seq)
+        ticket = ClusterTicket(query=None)
+        with handle.inflight_lock:
+            handle.inflight[seq] = ticket
+        try:
+            handle.send((tag, seq) + args)
+        except WorkerCrashedError:
+            with handle.inflight_lock:
+                handle.inflight.pop(seq, None)
+            raise
+        try:
+            result = ticket.result(timeout=CONTROL_TIMEOUT_SECONDS)
+        except TimeoutError:
+            with handle.inflight_lock:
+                handle.inflight.pop(seq, None)
+            raise WorkerCrashedError(
+                f"worker {handle.name!r} did not answer a {tag!r} request within "
+                f"{CONTROL_TIMEOUT_SECONDS:.0f}s"
+            ) from None
+        return result
+
+    def _handle_for(self, graph_key: str) -> Tuple[_WorkerHandle, _GraphRecord]:
+        with self._lock:
+            record = self._graphs.get(graph_key)
+            if record is None:
+                raise KeyError(f"unknown graph key {graph_key!r}")
+            return self._workers[record.worker], record
+
+    # -- registration / mutation -----------------------------------------------
+
+    def register(self, graph, name: Optional[str] = None) -> str:
+        """Register a graph cluster-wide; returns its stable query handle.
+
+        The graph is copied (the cluster never aliases caller-owned mutable
+        state) and shipped to the shard that owns its content fingerprint on
+        the ring.  Re-registering the same content under the same name is
+        idempotent; reusing a name for different content raises.
+        """
+        fingerprint = graph_fingerprint(graph)
+        key = name if name is not None else fingerprint
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cluster is closed")
+            existing = self._graphs.get(key)
+            if existing is not None:
+                if existing.fingerprint == fingerprint:
+                    return key
+                raise ValueError(
+                    f"graph key {key!r} is already registered with different content"
+                )
+            worker_name = self.ring.owner(fingerprint)
+            handle = self._workers[worker_name]
+            record = _GraphRecord(
+                key=key, graph=graph.copy(), fingerprint=fingerprint, worker=worker_name
+            )
+        self._request(handle, "register", key, record.graph, [])
+        with self._lock:
+            self._graphs[key] = record
+        return key
+
+    def mutate(
+        self, graph_key: str, op: str, u: int, v: int, weight: Optional[float] = None
+    ) -> int:
+        """Apply one edge mutation (``op`` in ``"add"``/``"remove"``) to a graph.
+
+        Forwarded to the owning shard first; the parent's lockstep copy is
+        only updated on the shard's acknowledgement, so a crash mid-mutation
+        leaves parent and (respawned) shard consistently *pre*-mutation.
+        Returns the graph's new version.
+        """
+        handle, record = self._handle_for(graph_key)
+        version = self._request(handle, "mutate", graph_key, op, u, v, weight)
+        if op == "add":
+            record.graph.add_edge(u, v, weight)
+        else:
+            record.graph.remove_edge(u, v)
+        return version
+
+    def keys(self) -> List[str]:
+        """Handles of every registered graph."""
+        with self._lock:
+            return list(self._graphs)
+
+    def shard_of(self, graph_key: str) -> str:
+        """Name of the worker owning ``graph_key``."""
+        with self._lock:
+            return self._graphs[graph_key].worker
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, query: Query) -> ClusterTicket:
+        """Forward ``query`` to its owning shard; returns a ticket.
+
+        Sheds with :class:`~repro.serve.service.ServiceOverloadedError` when
+        the shard already has ``max_inflight`` parent-side requests pending;
+        raises :class:`WorkerCrashedError` if the shard is down and not yet
+        respawned.
+        """
+        handle, _ = self._handle_for(query.graph_key)
+        seq = next(self._seq)
+        ticket = ClusterTicket(query=query)
+        with handle.inflight_lock:
+            if (
+                self.max_inflight is not None
+                and len(handle.inflight) >= self.max_inflight
+            ):
+                self._rejected_total += 1
+                raise ServiceOverloadedError(
+                    f"shard {handle.name!r} has {len(handle.inflight)} requests in "
+                    f"flight >= max_inflight={self.max_inflight}; retry later"
+                )
+            handle.inflight[seq] = ticket
+        try:
+            handle.send(("query", seq, query))
+        except WorkerCrashedError:
+            with handle.inflight_lock:
+                handle.inflight.pop(seq, None)
+            self._failures_total += 1
+            raise
+        self._queries_total += 1
+        return ticket
+
+    def _submit_and_wait(self, query: Query) -> RemoteResult:
+        return self.submit(query).result(timeout=None)
+
+    # -- front doors (mirror LaplacianService) ---------------------------------
+
+    def solve(self, graph_key: str, b: np.ndarray, eps: float = 1e-6):
+        """Solve ``L_G x = b`` on the owning shard (coalesced there)."""
+        return self._submit_and_wait(solve_query(graph_key, b, eps=eps)).value
+
+    def solve_many(self, graph_key: str, rhs: Sequence[np.ndarray], eps: float = 1e-6):
+        """Solve many right-hand sides; they coalesce into one shard batch."""
+        tickets = [self.submit(solve_query(graph_key, b, eps=eps)) for b in rhs]
+        return [t.result().value for t in tickets]
+
+    def effective_resistance(
+        self, graph_key: str, u: int, v: int, eta: Optional[float] = None
+    ) -> float:
+        """Effective resistance between two vertices (``eta`` as in-process)."""
+        return self._submit_and_wait(resistance_query(graph_key, u, v, eta=eta)).value
+
+    def effective_resistances(
+        self,
+        graph_key: str,
+        pairs: Iterable[Tuple[int, int]],
+        eta: Optional[float] = None,
+    ) -> np.ndarray:
+        """Batched effective resistances as one shard kernel call."""
+        pair_list = list(pairs)
+        if not pair_list:
+            return np.zeros(0)
+        return np.asarray(
+            self._submit_and_wait(
+                resistance_batch_query(graph_key, pair_list, eta=eta)
+            ).value
+        )
+
+    def certify(self, graph_key: str, eps: float = 0.5):
+        """Certify the shard's cached sparsifier (Definition 2.1)."""
+        return self._submit_and_wait(certify_query(graph_key, eps=eps)).value
+
+    def min_cost_flow(
+        self,
+        graph_key: str,
+        engine: str = "barrier",
+        seed: Optional[int] = None,
+        eps_scale: float = 1e-6,
+        perturb: bool = True,
+        memoise_result: bool = False,
+    ):
+        """Exact min-cost max-flow on the owning shard (params as in-process)."""
+        return self._submit_and_wait(
+            flow_query(
+                graph_key,
+                engine=engine,
+                seed=seed,
+                eps_scale=eps_scale,
+                perturb=perturb,
+                memoise_result=memoise_result,
+            )
+        ).value
+
+    def solve_gram(
+        self,
+        graph_key: str,
+        d: np.ndarray,
+        rhs: np.ndarray,
+        formulation: str = "fixed-value",
+    ) -> np.ndarray:
+        """One gram solve of the registered network's flow LP on its shard."""
+        return self._submit_and_wait(
+            gram_query(graph_key, d, rhs, formulation=formulation)
+        ).value
+
+    # -- metrics / lifecycle ---------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Cluster-wide metrics: merged worker counters + parent-side view.
+
+        Numeric counters are summed across workers, ``by_kind`` dicts merged
+        by summation; ``latency_seconds`` is the *parent-side end-to-end*
+        percentile view (pipe + queue + compute), which is what a client
+        experiences.  Per-worker snapshots ride along under ``per_worker``
+        for drill-down.  Unresponsive workers are skipped (their crash
+        accounting shows up in ``worker_crashes``/``worker_respawns``).
+        """
+        per_worker: List[Dict[str, Any]] = []
+        with self._lock:
+            handles = list(self._workers.values())
+        for handle in handles:
+            if not handle.alive:
+                continue
+            try:
+                snapshot = self._request(handle, "metrics")
+            except WorkerCrashedError:
+                continue
+            snapshot["worker"] = handle.name
+            per_worker.append(snapshot)
+        merged: Dict[str, Any] = {
+            "workers": len(handles),
+            "queries_total": self._queries_total,
+            "rejected_total": self._rejected_total,
+            "failures_total": self._failures_total,
+            "worker_crashes": self._crashes_total,
+            "worker_respawns": self._respawns_total,
+            "registered_graphs": len(self._graphs),
+            "shm_segments": len(self._store.owned_specs()),
+        }
+        for counter in ("batches_total", "cache_entries", "cache_bytes"):
+            merged[counter] = sum(int(s.get(counter, 0)) for s in per_worker)
+        by_kind: Dict[str, int] = {}
+        for snapshot in per_worker:
+            for kind, count in snapshot.get("queries_by_kind", {}).items():
+                by_kind[kind] = by_kind.get(kind, 0) + count
+        merged["queries_by_kind"] = by_kind
+        latencies = np.asarray(self._latencies, dtype=float)
+        if latencies.size:
+            merged["latency_seconds"] = {
+                "p50": float(np.percentile(latencies, 50)),
+                "p90": float(np.percentile(latencies, 90)),
+                "p99": float(np.percentile(latencies, 99)),
+            }
+        else:
+            merged["latency_seconds"] = {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+        merged["per_worker"] = per_worker
+        return merged
+
+    def kill_worker(self, name: str) -> None:
+        """Hard-kill one shard process (crash-recovery tests and drills).
+
+        The receiver thread observes the dead pipe, fails that shard's
+        in-flight tickets with :class:`WorkerCrashedError` and -- when
+        respawning is enabled -- brings up a replacement that re-registers
+        the shard's graphs and re-attaches its shared artifacts.
+        """
+        with self._lock:
+            handle = self._workers[name]
+        handle.process.kill()
+        handle.process.join(timeout=10.0)
+
+    def wait_recovered(self, timeout: float = 30.0) -> bool:
+        """Block until every shard process is alive again; returns success."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                handles = list(self._workers.values())
+            if all(h.alive and h.process.is_alive() for h in handles):
+                return True
+            time.sleep(0.05)
+        return False
+
+    def close(self) -> None:
+        """Shut every worker down and unlink all shared-memory segments."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._workers.values())
+        for handle in handles:
+            if handle.alive:
+                try:
+                    self._request(handle, "shutdown")
+                except Exception:
+                    pass
+        for handle in handles:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+            try:
+                handle.conn.close()
+            except Exception:
+                pass
+        self._store.close(unlink=True)
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -234,13 +234,20 @@ def flow_query(
     seed: Optional[int] = None,
     eps_scale: float = 1e-6,
     perturb: bool = True,
+    memoise_result: bool = False,
 ) -> Query:
     """An exact min-cost max-flow of the registered network (Theorem 1.1).
 
     Identical-parameter queries on the same network coalesce to one pipeline
     run.  The run consumes cached serving artifacts (phase-1 max flow, gram
     factorisations) but its result is recomputed per batch -- see the module
-    docstring.
+    docstring -- unless ``memoise_result=True``, which additionally caches
+    the final :class:`~repro.flow.mincostflow.MinCostFlowResult` under the
+    network's content identity so read-heavy traffic on an unchanging
+    network is a dictionary lookup.  The default stays off so warm flow
+    benchmarks keep measuring gram amortisation, not memoisation.
+    Memoising and non-memoising queries never share a batch (a client that
+    asked for a fresh run must get one).
 
     ``seed=None`` is served as seed ``0``: the served path is deterministic
     by default, so a repeat query replays the same cost-perturbation and
@@ -256,6 +263,7 @@ def flow_query(
             "seed": 0 if seed is None else int(seed),
             "eps_scale": float(eps_scale),
             "perturb": bool(perturb),
+            "memoise_result": bool(memoise_result),
         },
     )
 
@@ -360,6 +368,19 @@ class QueryPlanner:
         #: fault-injection seams (a disarmed no-op injector by default)
         self.faults = faults if faults is not None else disarmed_injector()
         self._retry_rng = np.random.default_rng(self.resilience.seed)
+        #: optional off-flush-path sketch builder (duck-typed: ``submit(key,
+        #: fn) -> bool``, deduplicating in-flight keys).  The cluster worker
+        #: arms one (:class:`repro.serve.worker.BackgroundBuilder`) so a
+        #: sketch build runs on a background thread while the grounded exact
+        #: fallback keeps serving -- non-degraded, exact answers trivially
+        #: satisfy ``eta`` -- until the sketch is resident in the cache.
+        self.background_builder = None
+        # retry jitter for background builds: a dedicated stream, because
+        # ``_retry_rng`` is touched under the service's execute lock and a
+        # background thread must not race it
+        self._background_rng = np.random.default_rng(
+            self.resilience.seed + 0x5EED
+        )
 
     def arm_faults(self, faults) -> FaultInjector:
         """Arm a :class:`FaultPlan`/:class:`FaultInjector`; ``None`` disarms.
@@ -423,6 +444,7 @@ class QueryPlanner:
                 payload["seed"],
                 payload["eps_scale"],
                 payload["perturb"],
+                payload.get("memoise_result", False),
             )
         # resistance: exact (None) and approximate queries, or two different
         # accuracy bounds, must never share a kernel call
@@ -476,6 +498,7 @@ class QueryPlanner:
         kind: str,
         params: Tuple[Hashable, ...],
         builder,
+        rng=None,
     ):
         """Breaker-guarded, retried ``cache.get_or_build`` -- the one build seam.
 
@@ -494,6 +517,9 @@ class QueryPlanner:
         Fault-injection seam: an armed injector's ``build`` rules fire
         inside the builder, i.e. only on a cache miss -- a cached artifact
         is never failed retroactively.
+
+        ``rng`` overrides the retry-jitter stream; background builds pass
+        their own so two threads never race ``_retry_rng``.
         """
         breaker_key = (entry.fingerprint, kind, params)
         if not self.breaker.allow(breaker_key):
@@ -514,7 +540,7 @@ class QueryPlanner:
                     entry.fingerprint, entry.version, kind, params, guarded_builder
                 ),
                 self.resilience,
-                self._retry_rng,
+                self._retry_rng if rng is None else rng,
                 health=self.health,
             )
         except Exception:
@@ -836,7 +862,7 @@ class QueryPlanner:
         return values, cache_hit, degraded
 
     def _grounded(
-        self, entry: RegisteredGraph
+        self, entry: RegisteredGraph, rng=None
     ) -> Tuple[GroundedLaplacianSolver, bool]:
         """Cached grounded ``splu`` factorisation: ``(solver, cache_hit)``.
 
@@ -845,13 +871,15 @@ class QueryPlanner:
         here so the key and builder can never silently fork.  Built as a
         :class:`RepairableGroundedSolver` (identical while no mutation has
         been absorbed) so the repair path can turn a later ``add_edge`` into
-        a rank-1 update instead of a refactorisation.
+        a rank-1 update instead of a refactorisation.  ``rng`` as in
+        :meth:`_build` (the background builder passes its own stream).
         """
         return self._build(
             entry,
             "grounded",
             (),
             lambda: RepairableGroundedSolver(entry.graph),
+            rng=rng,
         )
 
     def _sketched_or_fallback(
@@ -902,6 +930,28 @@ class QueryPlanner:
                 solver, cache_hit = self._grounded(entry)
                 return solver, cache_hit, False
             self._sketch_demand.pop(demand_key, None)
+            if self.background_builder is not None:
+                # off-flush-path build: schedule the k blocked solves on the
+                # background thread (deduplicated while in flight) and keep
+                # serving the grounded exact path meanwhile.  Exact answers
+                # trivially satisfy eta, so this is not a degradation.
+                self.background_builder.submit(
+                    (entry.fingerprint, entry.version, "sketched_resistance", params),
+                    lambda: self._build(
+                        entry,
+                        "sketched_resistance",
+                        params,
+                        lambda: SketchedResistanceOracle(
+                            entry.graph,
+                            eta=eta,
+                            seed=self.solver_seed,
+                            grounded=self._grounded(entry, rng=self._background_rng)[0],
+                        ),
+                        rng=self._background_rng,
+                    ),
+                )
+                solver, cache_hit = self._grounded(entry)
+                return solver, cache_hit, False
         builder = lambda: SketchedResistanceOracle(  # noqa: E731 -- reused below
             entry.graph,
             eta=eta,
@@ -991,31 +1041,53 @@ class QueryPlanner:
         content-addressed like everything else) and the gram factorisations
         the bridge takes during the IPM.  The pipeline itself is deterministic
         given the parameters, so one run is the answer for the whole batch.
+
+        With ``memoise_result=True`` on the queries, the final
+        :class:`~repro.flow.mincostflow.MinCostFlowResult` is itself a cached
+        artifact (kind ``"flow_result"``), keyed by the full parameter tuple
+        under the network's content identity -- so a repeat memoising query
+        on an unmutated network skips the IPM entirely.
         """
-        engine, seed, eps_scale, perturb = batch.coalesce_params
-        phase_one, phase_hit = self._build(
-            entry,
-            "maxflow",
-            (),
-            lambda: edmonds_karp_max_flow(entry.graph),
-        )
-        bridges: List[GramSolverBridge] = []
+        engine, seed, eps_scale, perturb, memoise = batch.coalesce_params
+        warm: List[bool] = []
 
-        def factory(flow_lp):
-            bridge = self.gram_bridge(entry, "fixed-value")
-            bridges.append(bridge)
-            return bridge
+        def run_pipeline():
+            phase_one, phase_hit = self._build(
+                entry,
+                "maxflow",
+                (),
+                lambda: edmonds_karp_max_flow(entry.graph),
+            )
+            bridges: List[GramSolverBridge] = []
 
-        result = min_cost_max_flow(
-            entry.graph,
-            engine=engine,
-            seed=seed,
-            eps_scale=eps_scale,
-            perturb=perturb,
-            gram_solver_factory=factory,
-            phase_one=phase_one,
-        )
-        cache_hit = phase_hit or any(b.stats.cache_hits > 0 for b in bridges)
+            def factory(flow_lp):
+                bridge = self.gram_bridge(entry, "fixed-value")
+                bridges.append(bridge)
+                return bridge
+
+            result = min_cost_max_flow(
+                entry.graph,
+                engine=engine,
+                seed=seed,
+                eps_scale=eps_scale,
+                perturb=perturb,
+                gram_solver_factory=factory,
+                phase_one=phase_one,
+            )
+            warm.append(phase_hit or any(b.stats.cache_hits > 0 for b in bridges))
+            return result
+
+        if memoise:
+            result, result_hit = self._build(
+                entry,
+                "flow_result",
+                (engine, seed, eps_scale, perturb),
+                run_pipeline,
+            )
+            cache_hit = result_hit or bool(warm and warm[0])
+        else:
+            result = run_pipeline()
+            cache_hit = warm[0]
         return [result] * batch.size, cache_hit, False
 
     def _execute_certify(

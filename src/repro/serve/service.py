@@ -528,6 +528,7 @@ class LaplacianService:
         seed: Optional[int] = None,
         eps_scale: float = 1e-6,
         perturb: bool = True,
+        memoise_result: bool = False,
     ):
         """Exact min-cost max-flow of a registered :class:`FlowNetwork`.
 
@@ -538,6 +539,11 @@ class LaplacianService:
         :class:`~repro.flow.mincostflow.MinCostFlowResult` as the direct
         path, with :attr:`~repro.flow.mincostflow.MinCostFlowResult.gram_stats`
         describing how the bridge served the run.
+
+        ``memoise_result=True`` additionally caches the final result under
+        the network's content identity, so repeat queries on an unchanged
+        network skip the IPM entirely (read-heavy traffic); the default
+        stays off so a warm query still measures gram amortisation.
         """
         return self._submit_and_wait(
             flow_query(
@@ -546,6 +552,7 @@ class LaplacianService:
                 seed=seed,
                 eps_scale=eps_scale,
                 perturb=perturb,
+                memoise_result=memoise_result,
             )
         ).value
 

@@ -1,0 +1,390 @@
+"""Seeded, replayable traffic traces for the serving tier.
+
+Replaces the synthetic fixed-size query bursts of ``bench_serve.py`` with
+something shaped like production load: a **trace** of events drawn from a
+seeded generator -- heavy-tailed graph popularity (a few hot graphs take
+most of the traffic), a mixed query kind distribution, optional interleaved
+mutations -- partitioned across many concurrent clients.  The same
+``(graph set, TrafficConfig)`` pair always generates the identical trace,
+so a trace can be replayed against a single-process
+:class:`~repro.serve.service.LaplacianService` and a
+:class:`~repro.serve.cluster.ClusterService` and the answers compared
+event-for-event, which is exactly what ``benchmarks/bench_cluster.py`` and
+the cluster test-suite do.
+
+Events carry only plain seeds and indices (never arrays), so traces are
+tiny, picklable and stable across processes; right-hand sides are
+regenerated deterministically at replay time.
+
+:func:`run_trace` executes a trace against anything with the service front
+door surface and reports what a load balancer would want to know:
+throughput, p50/p99 end-to-end latency, shed rate
+(:class:`~repro.serve.service.ServiceOverloadedError`) and typed failures
+-- every event is accounted for as ok, shed, or failed; none are dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.service import ServiceOverloadedError
+
+#: default query-kind mix: mostly reads, a trickle of mutations
+DEFAULT_MIX: Tuple[Tuple[str, float], ...] = (
+    ("solve", 0.30),
+    ("resistance", 0.30),
+    ("resistance_batch", 0.30),
+    ("mutate", 0.10),
+)
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Knobs of the seeded trace generator.
+
+    ``zipf_alpha`` shapes graph popularity (probability of graph rank ``r``
+    is proportional to ``(r + 1) ** -zipf_alpha``; higher = hotter head);
+    ``mix`` assigns relative weight to each event kind (``"solve"``,
+    ``"resistance"``, ``"resistance_batch"``, ``"mutate"``); mutations are
+    always edge *additions/reweights* so graphs stay connected and every
+    artifact repair path stays exercisable.  ``eta`` applies to resistance
+    events (``None`` = exact); ``eps`` to solve events.
+    """
+
+    seed: int = 0
+    queries: int = 256
+    clients: int = 4
+    zipf_alpha: float = 1.2
+    mix: Tuple[Tuple[str, float], ...] = DEFAULT_MIX
+    batch_pairs: int = 8
+    eta: Optional[float] = None
+    eps: float = 1e-6
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One replayable event: plain data only (no arrays, no graph refs)."""
+
+    #: position in the trace (global submission order)
+    index: int
+    #: client thread this event belongs to
+    client: int
+    #: event kind (a key of the config's ``mix``)
+    kind: str
+    #: index into the graph-key list the trace is run against
+    graph: int
+    #: kind-specific payload: seeds and vertex indices
+    payload: Tuple[Tuple[str, Any], ...] = ()
+
+    def payload_dict(self) -> Dict[str, Any]:
+        """The payload as a plain dict."""
+        return dict(self.payload)
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """A generated trace: the config that produced it plus its events."""
+
+    config: TrafficConfig
+    n_graphs: int
+    events: Tuple[TraceEvent, ...]
+
+
+@dataclass
+class TrafficReport:
+    """Outcome of one :func:`run_trace` execution.
+
+    ``ok + shed + failed == events_total`` always: an acked (submitted)
+    event either resolves, is shed with
+    :class:`~repro.serve.service.ServiceOverloadedError`, or fails with a
+    typed error recorded in ``failures_by_type`` -- no event is silently
+    lost, which is the invariant the worker-kill test asserts.
+    """
+
+    events_total: int = 0
+    ok: int = 0
+    shed: int = 0
+    failed: int = 0
+    failures_by_type: Dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    #: event index -> answer (only when ``record_answers=True``)
+    answers: Dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Completed (non-shed) events per second of wall clock."""
+        return (self.ok / self.seconds) if self.seconds > 0 else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of events shed by admission control."""
+        return (self.shed / self.events_total) if self.events_total else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile ``q`` (in percent) over completed events."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    def summary(self) -> Dict[str, Any]:
+        """The JSON-friendly digest ``bench_cluster.py`` records."""
+        return {
+            "events_total": self.events_total,
+            "ok": self.ok,
+            "shed": self.shed,
+            "failed": self.failed,
+            "failures_by_type": dict(self.failures_by_type),
+            "seconds": self.seconds,
+            "throughput_qps": self.throughput,
+            "shed_rate": self.shed_rate,
+            "latency_p50": self.percentile(50),
+            "latency_p99": self.percentile(99),
+        }
+
+
+def generate_trace(
+    graph_sizes: Sequence[int], config: TrafficConfig
+) -> TrafficTrace:
+    """Generate the deterministic trace for ``config`` over these graphs.
+
+    ``graph_sizes[i]`` is the vertex count of the ``i``-th graph the trace
+    will be run against (vertex indices in payloads must be in range).  The
+    generator is a single seeded rng stream, so the same inputs always
+    produce the identical trace; clients are assigned round-robin so each
+    client's subsequence is deterministic too.
+    """
+    if not graph_sizes:
+        raise ValueError("need at least one graph")
+    rng = np.random.default_rng(config.seed)
+    kinds = [kind for kind, _ in config.mix]
+    weights = np.asarray([weight for _, weight in config.mix], dtype=float)
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError(f"mix weights must be non-negative and sum > 0: {config.mix}")
+    weights = weights / weights.sum()
+    # heavy-tailed popularity over a seeded shuffle of the graphs, so the
+    # hot head is not always graph 0
+    order = rng.permutation(len(graph_sizes))
+    ranks = np.empty(len(graph_sizes), dtype=int)
+    ranks[order] = np.arange(len(graph_sizes))
+    popularity = (ranks + 1.0) ** -float(config.zipf_alpha)
+    popularity = popularity / popularity.sum()
+
+    events: List[TraceEvent] = []
+    for index in range(config.queries):
+        graph = int(rng.choice(len(graph_sizes), p=popularity))
+        n = int(graph_sizes[graph])
+        kind = kinds[int(rng.choice(len(kinds), p=weights))]
+        if kind == "solve":
+            payload = (("rhs_seed", int(rng.integers(0, 2**31))),)
+        elif kind == "resistance":
+            u, v = _distinct_pair(rng, n)
+            payload = (("u", u), ("v", v))
+        elif kind == "resistance_batch":
+            pairs = tuple(
+                _distinct_pair(rng, n) for _ in range(config.batch_pairs)
+            )
+            payload = (("pairs", pairs),)
+        elif kind == "mutate":
+            u, v = _distinct_pair(rng, n)
+            payload = (
+                ("u", u),
+                ("v", v),
+                ("weight", float(rng.uniform(0.5, 2.0))),
+            )
+        else:
+            raise ValueError(f"unknown trace event kind {kind!r}")
+        events.append(
+            TraceEvent(
+                index=index,
+                client=index % max(1, config.clients),
+                kind=kind,
+                graph=graph,
+                payload=payload,
+            )
+        )
+    return TrafficTrace(
+        config=config, n_graphs=len(graph_sizes), events=tuple(events)
+    )
+
+
+def _distinct_pair(rng, n: int) -> Tuple[int, int]:
+    """A uniformly random ordered pair of distinct vertices below ``n``."""
+    u = int(rng.integers(0, n))
+    v = int(rng.integers(0, n - 1))
+    if v >= u:
+        v += 1
+    return u, v
+
+
+def solve_rhs(n: int, rhs_seed: int) -> np.ndarray:
+    """The deterministic zero-sum right-hand side of a ``solve`` event."""
+    b = np.random.default_rng(rhs_seed).standard_normal(n)
+    return b - b.mean()
+
+
+def make_service_mutator(service) -> Callable[[str, int, int, float], Any]:
+    """Mutation applier for an in-process :class:`LaplacianService`.
+
+    Mutates the registered graph object directly (the registry's version
+    tracking picks it up on the next query).  The cluster's equivalent is
+    :meth:`~repro.serve.cluster.ClusterService.mutate`, which
+    :func:`run_trace` uses automatically when the service exposes it.
+    """
+
+    def apply(graph_key: str, u: int, v: int, weight: float):
+        service.registry.get(graph_key).graph.add_edge(u, v, weight)
+
+    return apply
+
+
+def apply_event(
+    service,
+    keys: Sequence[str],
+    sizes: Sequence[int],
+    event: TraceEvent,
+    config: TrafficConfig,
+    mutate_fn: Optional[Callable[[str, int, int, float], Any]] = None,
+) -> Any:
+    """Execute one trace event against ``service``; returns its answer.
+
+    ``service`` needs the shared front-door surface (``solve``,
+    ``effective_resistance``, ``effective_resistances``); mutations go
+    through ``mutate_fn`` when given, else through the service's own
+    ``mutate`` method (the cluster), else through direct graph mutation via
+    :func:`make_service_mutator` semantics.
+    """
+    key = keys[event.graph]
+    payload = event.payload_dict()
+    if event.kind == "solve":
+        b = solve_rhs(int(sizes[event.graph]), payload["rhs_seed"])
+        return service.solve(key, b, eps=config.eps).solution
+    if event.kind == "resistance":
+        return service.effective_resistance(
+            key, payload["u"], payload["v"], eta=config.eta
+        )
+    if event.kind == "resistance_batch":
+        return service.effective_resistances(
+            key, list(payload["pairs"]), eta=config.eta
+        )
+    if event.kind == "mutate":
+        if mutate_fn is not None:
+            return mutate_fn(key, payload["u"], payload["v"], payload["weight"])
+        if hasattr(service, "mutate"):
+            return service.mutate(
+                key, "add", payload["u"], payload["v"], payload["weight"]
+            )
+        return make_service_mutator(service)(
+            key, payload["u"], payload["v"], payload["weight"]
+        )
+    raise ValueError(f"unknown trace event kind {event.kind!r}")
+
+
+def run_trace(
+    service,
+    keys: Sequence[str],
+    sizes: Sequence[int],
+    trace: TrafficTrace,
+    mutate_fn: Optional[Callable[[str, int, int, float], Any]] = None,
+    concurrent: bool = True,
+    record_answers: bool = False,
+) -> TrafficReport:
+    """Replay ``trace`` against ``service`` and measure it.
+
+    ``concurrent=True`` runs each trace client on its own thread (events
+    stay ordered *within* a client, interleave freely across clients --
+    the realistic load shape); ``concurrent=False`` replays the whole trace
+    sequentially in submission order, which is fully deterministic and is
+    the mode answer-comparison runs use.  Every event resolves to ok / shed
+    / typed failure in the report; see :class:`TrafficReport`.
+    """
+    if len(keys) != trace.n_graphs:
+        raise ValueError(
+            f"trace was generated for {trace.n_graphs} graphs, got {len(keys)} keys"
+        )
+    report = TrafficReport(events_total=len(trace.events))
+    lock = threading.Lock()
+
+    def run_events(events: Sequence[TraceEvent]) -> None:
+        for event in events:
+            start = time.perf_counter()
+            try:
+                answer = apply_event(
+                    service, keys, sizes, event, trace.config, mutate_fn
+                )
+            except ServiceOverloadedError:
+                with lock:
+                    report.shed += 1
+            except Exception as error:
+                name = type(error).__name__
+                with lock:
+                    report.failed += 1
+                    report.failures_by_type[name] = (
+                        report.failures_by_type.get(name, 0) + 1
+                    )
+            else:
+                elapsed = time.perf_counter() - start
+                with lock:
+                    report.ok += 1
+                    report.latencies.append(elapsed)
+                    # mutate acks are implementation-specific (version int
+                    # vs None), not comparable answers
+                    if record_answers and event.kind != "mutate":
+                        report.answers[event.index] = answer
+
+    started = time.perf_counter()
+    if not concurrent:
+        run_events(trace.events)
+    else:
+        by_client: Dict[int, List[TraceEvent]] = {}
+        for event in trace.events:
+            by_client.setdefault(event.client, []).append(event)
+        threads = [
+            threading.Thread(target=run_events, args=(events,), daemon=True)
+            for events in by_client.values()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    report.seconds = time.perf_counter() - started
+    return report
+
+
+def compare_answers(
+    left: TrafficReport, right: TrafficReport, atol: float = 1e-8
+) -> Tuple[int, float]:
+    """Compare two answer-recorded replays of one trace.
+
+    Returns ``(compared, max_abs_difference)`` over the event indices both
+    reports answered; raises if an answer pair disagrees in shape.  The
+    cluster acceptance gate asserts the difference stays below ``1e-8``.
+    """
+    compared = 0
+    worst = 0.0
+    for index, a in left.answers.items():
+        b = right.answers.get(index)
+        if b is None:
+            continue
+        if a is None and b is None:
+            compared += 1
+            continue
+        a_arr = np.asarray(a, dtype=float)
+        b_arr = np.asarray(b, dtype=float)
+        if a_arr.shape != b_arr.shape:
+            raise AssertionError(
+                f"answer shape mismatch at event {index}: {a_arr.shape} vs {b_arr.shape}"
+            )
+        if a_arr.size:
+            worst = max(worst, float(np.max(np.abs(a_arr - b_arr))))
+        compared += 1
+    if worst > atol:
+        raise AssertionError(
+            f"answers diverge: max |diff| = {worst:.3e} > atol={atol:.1e}"
+        )
+    return compared, worst

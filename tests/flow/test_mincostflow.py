@@ -81,8 +81,10 @@ class TestDiagnostics:
 
 
 class TestLeeSidfordEngine:
-    @pytest.mark.slow  # ~4 minutes (re-measured): the Lee-Sidford engine's cost
-    # is the Lewis-weight fixed point, which the gram serving path does not touch
+    @pytest.mark.slow  # ~15s (re-measured): still the suite's slowest single test.
+    # Was ~4 minutes before the Lewis fixed point went through graph mode (one
+    # small dense resistance solve per iteration) and the round ledger kept a
+    # running total instead of rescanning its entries on every read
     def test_small_instance_with_faithful_engine(self):
         net = generators.random_flow_network(7, seed=7, max_capacity=4, max_cost=3)
         result = min_cost_max_flow(net, engine="lee-sidford", seed=7, verify_against_baseline=True)

@@ -68,6 +68,49 @@ class TestServedFlow:
         assert after.value != pytest.approx(before.value, abs=1e-8)
 
 
+class TestResultMemoisation:
+    def test_default_off_leaves_no_result_artifact(self, network):
+        service = make_service()
+        key = service.register(network)
+        service.min_cost_flow(key, seed=0)
+        entry = service.registry.get(key)
+        assert not service.cache.contains(
+            entry.fingerprint, entry.version, "flow_result", ("barrier", 0, 1e-6, True)
+        )
+
+    def test_memoised_rerun_skips_the_lp(self, network):
+        service = make_service()
+        key = service.register(network)
+        cold = service.min_cost_flow(key, seed=0, memoise_result=True)
+        entry = service.registry.get(key)
+        assert service.cache.contains(
+            entry.fingerprint, entry.version, "flow_result", ("barrier", 0, 1e-6, True)
+        )
+        hits_before = service.cache.stats.hits
+        warm = service.min_cost_flow(key, seed=0, memoise_result=True)
+        # the memoised artifact is the result object itself: no IPM rerun
+        assert warm is cold
+        assert service.cache.stats.hits > hits_before
+
+    def test_memoisation_is_per_parameter_tuple(self, network):
+        service = make_service()
+        key = service.register(network)
+        first = service.min_cost_flow(key, seed=0, memoise_result=True)
+        other_seed = service.min_cost_flow(key, seed=1, memoise_result=True)
+        assert other_seed is not first
+
+    def test_mutation_invalidates_memoised_result(self, network):
+        service = make_service()
+        key = service.register(network)
+        before = service.min_cost_flow(key, seed=0, memoise_result=True)
+        network.add_edge(network.source, network.sink, capacity=2.0, cost=100.0)
+        after = service.min_cost_flow(key, seed=0, memoise_result=True)
+        assert after is not before
+        direct = min_cost_max_flow(network, seed=0)
+        assert after.value == pytest.approx(direct.value, abs=1e-8)
+        assert after.cost == pytest.approx(direct.cost, abs=1e-8)
+
+
 class TestGramFrontDoor:
     def test_solve_gram_matches_dense_reference(self, network, rng):
         service = make_service()

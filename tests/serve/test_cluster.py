@@ -1,0 +1,232 @@
+"""ClusterService: hash ring, sharded serving, crash recovery, shm cleanup.
+
+The multi-process classes are marked ``cluster`` (spawned workers are too
+heavy for the fast suite; CI runs them as a dedicated step).  The
+:class:`~repro.serve.cluster.HashRing` tests are pure single-process and run
+everywhere.
+"""
+
+import threading
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.serve import (
+    ClusterService,
+    HashRing,
+    LaplacianService,
+    TrafficConfig,
+    WorkerConfig,
+    WorkerCrashedError,
+    compare_answers,
+    generate_trace,
+    run_trace,
+)
+
+SIZES = [40, 24, 30]
+
+
+def make_graphs():
+    """Fresh identical graph objects per service, so replays stay independent."""
+    return [
+        generators.grid_graph(4, 10),
+        generators.random_weighted_graph(24, average_degree=4, seed=5),
+        generators.grid_graph(5, 6),
+    ]
+
+
+def make_cluster(num_workers=2, **kwargs):
+    kwargs.setdefault("worker_config", WorkerConfig(t_override=2))
+    return ClusterService(num_workers=num_workers, **kwargs)
+
+
+def segment_exists(name: str) -> bool:
+    try:
+        handle = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    handle.close()
+    return True
+
+
+class TestHashRing:
+    KEYS = [f"fingerprint-{i:04d}" for i in range(300)]
+
+    def test_every_key_has_exactly_one_deterministic_owner(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        owners = {key: ring.owner(key) for key in self.KEYS}
+        assert set(owners.values()) <= {"w0", "w1", "w2"}
+        fresh = HashRing(["w2", "w0", "w1"])  # insertion order must not matter
+        assert {key: fresh.owner(key) for key in self.KEYS} == owners
+
+    def test_adding_a_node_only_moves_keys_onto_it(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {key: ring.owner(key) for key in self.KEYS}
+        ring.add("w3")
+        after = {key: ring.owner(key) for key in self.KEYS}
+        moved = {key for key in self.KEYS if before[key] != after[key]}
+        assert moved, "a new node should take over some keys"
+        assert all(after[key] == "w3" for key in moved)
+
+    def test_removing_a_node_only_moves_its_keys(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {key: ring.owner(key) for key in self.KEYS}
+        ring.remove("w1")
+        after = {key: ring.owner(key) for key in self.KEYS}
+        assert "w1" not in set(after.values())
+        for key in self.KEYS:
+            if before[key] != "w1":
+                assert after[key] == before[key]
+
+    def test_assignment_is_roughly_balanced(self):
+        ring = HashRing(["w0", "w1", "w2"], replicas=64)
+        counts = {}
+        for key in self.KEYS:
+            counts[ring.owner(key)] = counts.get(ring.owner(key), 0) + 1
+        assert min(counts.values()) > len(self.KEYS) * 0.1
+
+    def test_nodes_property_and_empty_ring(self):
+        ring = HashRing()
+        assert ring.nodes == ()
+        with pytest.raises(ValueError):
+            ring.owner("anything")
+        ring.add("solo")
+        assert ring.owner("anything") == "solo"
+
+
+@pytest.mark.cluster
+class TestClusterServing:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        service = make_cluster(num_workers=2)
+        yield service
+        service.close()
+
+    @pytest.fixture(scope="class")
+    def keys(self, cluster):
+        return [cluster.register(g, name=f"g{i}") for i, g in enumerate(make_graphs())]
+
+    def test_registration_shards_by_ring(self, cluster, keys):
+        from repro.serve import graph_fingerprint
+
+        for key, graph in zip(keys, make_graphs()):
+            assert cluster.shard_of(key) == cluster.ring.owner(graph_fingerprint(graph))
+        assert set(cluster.keys()) == set(keys)
+
+    def test_answers_match_single_process_service(self, cluster, keys):
+        single = LaplacianService(t_override=2)
+        single_keys = [
+            single.register(g, name=f"g{i}") for i, g in enumerate(make_graphs())
+        ]
+        trace = generate_trace(SIZES, TrafficConfig(seed=3, queries=30, clients=3))
+        cluster_report = run_trace(
+            cluster, keys, SIZES, trace, concurrent=False, record_answers=True
+        )
+        single_report = run_trace(
+            single, single_keys, SIZES, trace, concurrent=False, record_answers=True
+        )
+        assert cluster_report.failed == 0
+        compared, worst = compare_answers(single_report, cluster_report, atol=1e-8)
+        assert compared > 0
+        assert worst <= 1e-8
+        single.close()
+
+    def test_metrics_merge_worker_counters(self, cluster, keys):
+        b = np.zeros(SIZES[0])
+        b[0], b[-1] = 1.0, -1.0
+        cluster.solve(keys[0], b)
+        metrics = cluster.metrics_snapshot()
+        assert metrics["workers"] == 2
+        assert metrics["queries_total"] > 0
+        assert metrics["registered_graphs"] == len(keys)
+        assert len(metrics["per_worker"]) == 2
+        assert metrics["queries_by_kind"].get("solve", 0) >= 1
+
+    def test_duplicate_name_with_different_content_is_rejected(self, cluster, keys):
+        with pytest.raises(ValueError):
+            cluster.register(generators.grid_graph(3, 3), name="g0")
+
+    def test_reregistering_same_content_is_idempotent(self, cluster, keys):
+        again = cluster.register(make_graphs()[0], name="g0")
+        assert again == keys[0]
+
+
+@pytest.mark.cluster
+class TestCrashRecovery:
+    def test_kill_mid_trace_loses_no_acked_query(self):
+        cluster = make_cluster(num_workers=2)
+        try:
+            keys = [
+                cluster.register(g, name=f"g{i}") for i, g in enumerate(make_graphs())
+            ]
+            trace = generate_trace(
+                SIZES, TrafficConfig(seed=11, queries=40, clients=4)
+            )
+            victim = cluster.shard_of(keys[0])
+            killer = threading.Timer(0.3, cluster.kill_worker, args=(victim,))
+            killer.start()
+            report = run_trace(cluster, keys, SIZES, trace, concurrent=True)
+            killer.join()
+            # the invariant: every acked event resolved or failed *typed*
+            assert report.ok + report.shed + report.failed == report.events_total
+            known = {"WorkerCrashedError", "ServiceOverloadedError"}
+            assert set(report.failures_by_type) <= known
+            # the cluster recovered and serves every graph again
+            assert cluster.wait_recovered(timeout=30.0)
+            for key, n in zip(keys, SIZES):
+                b = np.zeros(n)
+                b[0], b[-1] = 1.0, -1.0
+                assert cluster.solve(key, b).solution.shape == (n,)
+            metrics = cluster.metrics_snapshot()
+            assert metrics["worker_crashes"] >= 1
+            assert metrics["worker_respawns"] >= 1
+        finally:
+            cluster.close()
+
+    def test_crash_without_respawn_fails_typed(self):
+        cluster = make_cluster(num_workers=2, respawn=False)
+        try:
+            key = cluster.register(make_graphs()[0], name="g0")
+            victim = cluster.shard_of(key)
+            cluster.kill_worker(victim)
+            time.sleep(0.3)  # let the receiver thread observe the dead pipe
+            b = np.zeros(SIZES[0])
+            b[0], b[-1] = 1.0, -1.0
+            with pytest.raises(WorkerCrashedError):
+                cluster.solve(key, b)
+        finally:
+            cluster.close()
+
+
+@pytest.mark.cluster
+class TestShmLifecycle:
+    def _exercise(self, cluster):
+        keys = [cluster.register(g, name=f"g{i}") for i, g in enumerate(make_graphs())]
+        trace = generate_trace(SIZES, TrafficConfig(seed=5, queries=20, clients=2))
+        run_trace(cluster, keys, SIZES, trace, concurrent=False)
+        return keys
+
+    def test_no_leaked_segments_after_close(self):
+        cluster = make_cluster(num_workers=2)
+        self._exercise(cluster)
+        specs = cluster._store.owned_specs()
+        cluster.close()
+        leaked = [spec.segment for spec in specs if segment_exists(spec.segment)]
+        assert leaked == []
+
+    def test_no_leaked_segments_after_worker_crash(self):
+        cluster = make_cluster(num_workers=2)
+        keys = self._exercise(cluster)
+        cluster.kill_worker(cluster.shard_of(keys[0]))
+        assert cluster.wait_recovered(timeout=30.0)
+        b = np.zeros(SIZES[0])
+        b[0], b[-1] = 1.0, -1.0
+        cluster.solve(keys[0], b)
+        specs = cluster._store.owned_specs()
+        assert specs, "the cluster should have published shared artifacts"
+        cluster.close()
+        leaked = [spec.segment for spec in specs if segment_exists(spec.segment)]
+        assert leaked == []
