@@ -19,6 +19,12 @@ appended to a ``BENCH_cluster.json`` trajectory at the repo root:
   cores; on smaller containers the measured ratio is recorded with a
   ``cpu_limited`` flag instead (process parallelism cannot beat the core
   count).
+* **availability under a mid-trace kill** -- the same mixed trace replayed
+  against a 2-worker cluster at ``replication_factor=1`` and ``=2`` while a
+  worker is SIGKILLed partway through.  Both runs record failed-event counts
+  and p99 latency; the gate is that the *replicated* run completes with zero
+  failed events (in-flight orphans fail over to the surviving replica), while
+  the single-replica run's failures are recorded as the contrast column.
 
 Workloads are 8 seeded graphs at ``n`` between ~200 and 400 -- grids,
 random weighted graphs, a power-law graph and a small-world graph -- so the
@@ -31,6 +37,7 @@ re-import ``__main__``:
 
 import json
 import os
+import threading
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -64,6 +71,14 @@ AGREEMENT_ATOL = 1e-8
 
 #: sequential correctness trace: the default mixed read/mutate workload
 CORRECTNESS_CONFIG = TrafficConfig(seed=17, queries=120, clients=4)
+
+#: availability trace: mixed read/mutate workload replayed while a worker
+#: is killed partway through (sequential, so failed counts are deterministic
+#: modulo which single event is in flight at the kill instant)
+AVAILABILITY_CONFIG = TrafficConfig(seed=31, queries=80, clients=4)
+
+#: when (seconds into the availability replay) the victim worker is killed
+AVAILABILITY_KILL_AFTER = 0.4
 
 #: concurrent throughput trace: read-mostly (mutations serialise on artifact
 #: rebuilds, which is a repair benchmark, not a scaling one)
@@ -193,6 +208,56 @@ def measure_throughput(sizes) -> dict:
     }
 
 
+def _run_availability(replication_factor: int, sizes, trace) -> dict:
+    """Replay ``trace`` on a 2-worker cluster, killing worker-0 mid-trace."""
+    config = WorkerConfig(t_override=T_OVERRIDE)
+    with ClusterService(
+        num_workers=2,
+        worker_config=config,
+        replication_factor=replication_factor,
+    ) as cluster:
+        keys = register_all(cluster, fresh_graphs())
+        timer = threading.Timer(
+            AVAILABILITY_KILL_AFTER, cluster.kill_worker, args=("worker-0",)
+        )
+        timer.start()
+        try:
+            report = run_trace(cluster, keys, sizes, trace, concurrent=False)
+        finally:
+            timer.cancel()
+        recovered = cluster.wait_recovered(timeout=60.0)
+        metrics = cluster.metrics_snapshot()
+    if report.ok + report.shed + report.failed != report.events_total:
+        raise SystemExit(
+            f"FAIL: availability replay (rf={replication_factor}) lost events -- "
+            f"ok={report.ok} shed={report.shed} failed={report.failed} "
+            f"of {report.events_total}"
+        )
+    summary = report.summary()
+    return {
+        "replication_factor": replication_factor,
+        "ok": report.ok,
+        "failed": report.failed,
+        "shed": report.shed,
+        "failover_resubmits": metrics.get("failover_resubmits", 0),
+        "worker_crashes": metrics.get("worker_crashes", 0),
+        "worker_respawns": metrics.get("worker_respawns", 0),
+        "recovered": recovered,
+        "latency_p99": round(summary["latency_p99"], 5),
+    }
+
+
+def measure_availability(sizes) -> dict:
+    """Mid-trace worker kill at replication_factor 1 vs 2 on a 2-worker ring."""
+    trace = generate_trace(sizes, AVAILABILITY_CONFIG)
+    return {
+        "queries": AVAILABILITY_CONFIG.queries,
+        "kill_after_seconds": AVAILABILITY_KILL_AFTER,
+        "single_replica": _run_availability(1, sizes, trace),
+        "replicated": _run_availability(2, sizes, trace),
+    }
+
+
 def append_trajectory(record: dict) -> None:
     history = []
     if TRAJECTORY_PATH.exists():
@@ -224,12 +289,22 @@ def main():
         + (" [cpu_limited]" if throughput["cpu_limited"] else "")
     )
 
+    availability = measure_availability(sizes)
+    for column in (availability["single_replica"], availability["replicated"]):
+        print(
+            f"availability (rf={column['replication_factor']}, worker killed at "
+            f"{availability['kill_after_seconds']}s): ok={column['ok']} "
+            f"failed={column['failed']} failovers={column['failover_resubmits']} "
+            f"p99 {column['latency_p99']*1000:.1f}ms"
+        )
+
     record = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "t_override": T_OVERRIDE,
         "total_seconds": round(time.perf_counter() - started, 2),
         "correctness": correctness,
         "throughput": throughput,
+        "availability": availability,
     }
     append_trajectory(record)
 
@@ -257,6 +332,16 @@ def main():
             f"FAIL: {CLUSTER_WORKERS}-worker throughput only "
             f"{throughput['throughput_ratio']}x single-process, below the "
             f"{SCALING_FLOOR}x floor on a {throughput['cpu_count']}-core machine"
+        )
+    replicated = availability["replicated"]
+    if replicated["failed"] != 0:
+        raise SystemExit(
+            f"FAIL: replicated cluster dropped {replicated['failed']} events "
+            f"during a mid-trace worker kill (the availability contract is zero)"
+        )
+    if not replicated["recovered"]:
+        raise SystemExit(
+            "FAIL: replicated cluster never recovered after the mid-trace kill"
         )
     print(f"PASS (trajectory appended to {TRAJECTORY_PATH.name})")
 

@@ -35,12 +35,15 @@ something:
   :meth:`LaplacianService.arm_faults`) so every containment behaviour is
   provable on demand.
 * :mod:`repro.serve.cluster` -- multi-process scale-out: the
-  :class:`ClusterService` front door shards registered graphs across worker
-  processes by consistent hashing on the content fingerprint
-  (:class:`HashRing`), forwards mutations to the owning shard, respawns
-  crashed workers (in-flight queries fail with the typed
-  :class:`WorkerCrashedError`, never silently) and merges per-worker
-  metrics.
+  :class:`ClusterService` front door places registered graphs on
+  ``replication_factor`` distinct workers by consistent hashing on the
+  content fingerprint (:class:`HashRing`), applies mutations to every
+  replica in lockstep, fails reads over to live replicas (in-flight queries
+  on a dying worker are resubmitted, not lost), health-checks workers on a
+  cadence (:class:`HealthPolicy`: suspect -> dead ladder, wedged workers
+  killed and respawned), supports runtime ``add_worker``/``remove_worker``
+  membership changes, sheds with a ``retry_after_seconds`` hint, and merges
+  per-worker metrics.
 * :mod:`repro.serve.worker` -- one shard process: an in-process service
   behind a pipe, a :class:`BackgroundBuilder` that moves sketch builds off
   the flush path (the grounded exact fallback serves, non-degraded, until
@@ -73,6 +76,7 @@ from repro.serve.cluster import (
     ClusterService,
     ClusterTicket,
     HashRing,
+    HealthPolicy,
     WorkerCrashedError,
 )
 from repro.serve.faults import (
@@ -109,10 +113,12 @@ from repro.serve.resilience import (
     ArtifactBreakerOpenError,
     CircuitBreaker,
     DeadlineExceededError,
+    DrainRateTracker,
     HealthStats,
     NumericalHealthError,
     ResiliencePolicy,
     call_with_retries,
+    estimate_retry_after,
 )
 from repro.serve.service import (
     FlushPolicy,
@@ -130,6 +136,7 @@ from repro.serve.shm import (
     csr_to_arrays,
 )
 from repro.serve.traffic import (
+    ClientRetryPolicy,
     TraceEvent,
     TrafficConfig,
     TrafficReport,
@@ -150,6 +157,7 @@ __all__ = [
     "ClusterService",
     "ClusterTicket",
     "HashRing",
+    "HealthPolicy",
     "WorkerCrashedError",
     "AttachedArtifact",
     "SharedArtifactStore",
@@ -157,6 +165,7 @@ __all__ = [
     "ShmArtifactSpec",
     "csr_from_arrays",
     "csr_to_arrays",
+    "ClientRetryPolicy",
     "TraceEvent",
     "TrafficConfig",
     "TrafficReport",
@@ -204,8 +213,10 @@ __all__ = [
     "ArtifactBreakerOpenError",
     "CircuitBreaker",
     "DeadlineExceededError",
+    "DrainRateTracker",
     "HealthStats",
     "NumericalHealthError",
     "ResiliencePolicy",
     "call_with_retries",
+    "estimate_retry_after",
 ]

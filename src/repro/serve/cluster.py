@@ -1,30 +1,50 @@
 """Multi-process sharded serving: the `ClusterService` front door.
 
 Scales the single-process :class:`~repro.serve.service.LaplacianService`
-across worker processes.  Graphs are sharded by **consistent hashing on
+across worker processes.  Graphs are placed by **consistent hashing on
 their content fingerprint** (:class:`HashRing`): each registered graph is
-owned by exactly one worker, which hosts an ordinary in-process service for
-it (:mod:`repro.serve.worker`), so every per-graph artifact -- grounded
-factorisation, dense or sketched resistance oracle, gram factorisations --
-lives exactly once in the cluster, and big read-only oracles live in
-*shared memory* (:mod:`repro.serve.shm`) where respawned workers re-attach
+hosted by ``replication_factor`` distinct workers (the ring owner plus its
+successors), each running an ordinary in-process service for it
+(:mod:`repro.serve.worker`).  Big read-only oracles live in *shared memory*
+(:mod:`repro.serve.shm`), where replicas and respawned workers re-attach
 them instead of rebuilding.
 
-The front door mirrors the single-process API surface (``solve`` /
-``solve_many`` / ``effective_resistance`` / ``effective_resistances`` /
-``certify`` / ``min_cost_flow`` / ``solve_gram`` / ``metrics_snapshot``),
-so callers swap one constructor and keep their code.  Mutations go through
-:meth:`ClusterService.mutate`, which forwards to the owning shard and keeps
-the parent's copy in lockstep -- the parent copy is what a respawn
-re-registers after a crash.
+Replication semantics
+---------------------
 
-Crash semantics: a worker that dies mid-query fails that worker's in-flight
-tickets with the typed :class:`WorkerCrashedError` (no ticket is ever lost
-or left hanging); the parent then respawns the shard, re-registers its
-graphs from the parent-side copies and re-attaches every shared-memory
-artifact it had adopted from the dead worker, after which the full graph
-set serves again.  Submissions racing the respawn window fail with the same
-typed error, never silently.
+Replicas are deterministic: every replica receives the same graph copy and
+the same ``WorkerConfig`` (seeds included), so any replica's answer is
+byte-identical to the primary's.  Reads route to the primary and *fail
+over* to a live replica when the primary is down or suspect; queries that
+were in flight on a dying worker are transparently resubmitted to a
+replica (keeping their original submission time, so latency accounting
+stays honest) instead of surfacing :class:`WorkerCrashedError`.  Mutations
+are applied to **all** replicas in lockstep under a per-graph lock, and the
+parent's own copy is updated only after at least one replica acknowledged
+-- a crash mid-mutation therefore leaves every survivor (and the parent's
+recovery copy) consistently at the same version.
+
+Health-checked membership
+-------------------------
+
+A parent-side monitor thread (:class:`HealthPolicy`) pings every worker on
+a fixed cadence over the ordinary control pipe.  A worker that misses
+``suspect_misses`` consecutive probes is marked *suspect* -- reads route to
+its replicas, and ``metrics_snapshot`` stops querying it -- and one that
+misses ``dead_misses`` is declared wedged and proactively killed, which
+funnels into the ordinary crash-respawn path (so a worker stuck in a loop,
+not just a dead one, self-heals without operator action).  Membership is
+dynamic: :meth:`ClusterService.add_worker` / :meth:`remove_worker` move
+only the ring-mandated keys, re-registering them cheaply from the parent's
+lockstep copies plus the already-published shared-memory artifacts.
+
+Backpressure
+------------
+
+Parent-side admission control per shard (``max_inflight``) sheds with
+:class:`~repro.serve.service.ServiceOverloadedError` carrying a
+``retry_after_seconds`` hint computed from the shard's queue depth and its
+observed drain rate -- the same contract as the single-process front door.
 """
 
 from __future__ import annotations
@@ -36,11 +56,12 @@ import multiprocessing as mp
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.serve.faults import FaultInjector, FaultPlan, disarmed_injector
 from repro.serve.planner import (
     Query,
     certify_query,
@@ -51,12 +72,14 @@ from repro.serve.planner import (
     solve_query,
 )
 from repro.serve.registry import graph_fingerprint
+from repro.serve.resilience import DrainRateTracker, estimate_retry_after
 from repro.serve.service import ServiceOverloadedError
 from repro.serve.shm import SharedArtifactStore, ShmArtifactSpec
 from repro.serve.worker import RemoteResult, WorkerConfig, worker_main
 
 #: how long a control round-trip (register/mutate/metrics/shutdown) may take
-#: before the worker is declared unresponsive
+#: before the worker is declared unresponsive (and killed -- see
+#: :meth:`ClusterService._request`)
 CONTROL_TIMEOUT_SECONDS = 120.0
 
 #: parent-side end-to-end latency window (matches ServiceMetrics)
@@ -68,9 +91,55 @@ class WorkerCrashedError(RuntimeError):
 
     Typed so clients can tell infrastructure loss from computational
     failure: the query itself was fine, the process serving it is gone.
-    Retrying after the respawn (which the cluster performs automatically)
-    is expected to succeed.
+    With replication the cluster resubmits orphaned queries to a live
+    replica before ever surfacing this error; it escapes only when no
+    replica could take the work (or for control requests, which are not
+    idempotent and never fail over silently).
     """
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Cadence and thresholds for the parent-side worker health monitor.
+
+    Defaults are deliberately generous: a worker legitimately blocks its
+    message loop for the whole duration of an IPM batch, so the
+    suspect/dead ladders are measured in *missed probes*, not wall-clock
+    responsiveness alone.  ``suspect_misses`` consecutive unanswered pings
+    mark the worker suspect (reads route to replicas); ``dead_misses``
+    declare it wedged, after which the monitor kills the process and the
+    ordinary crash-respawn path revives the shard.
+    """
+
+    #: seconds between probe rounds
+    probe_interval_seconds: float = 0.5
+    #: consecutive missed probes before the worker is marked *suspect*
+    suspect_misses: int = 4
+    #: consecutive missed probes before the worker is killed and respawned
+    dead_misses: int = 60
+    #: seconds after spawn during which missed probes are forgiven -- a
+    #: freshly spawned worker spends this long importing before it can
+    #: answer anything, and must not be declared wedged for it
+    startup_grace_seconds: float = 15.0
+    #: whether the monitor thread runs at all
+    enabled: bool = True
+
+    def __post_init__(self):
+        if self.probe_interval_seconds <= 0:
+            raise ValueError(
+                f"probe_interval_seconds must be > 0, got {self.probe_interval_seconds}"
+            )
+        if self.startup_grace_seconds < 0:
+            raise ValueError(
+                f"startup_grace_seconds must be >= 0, got {self.startup_grace_seconds}"
+            )
+        if self.suspect_misses < 1:
+            raise ValueError(f"suspect_misses must be >= 1, got {self.suspect_misses}")
+        if self.dead_misses < self.suspect_misses:
+            raise ValueError(
+                f"dead_misses ({self.dead_misses}) must be >= suspect_misses "
+                f"({self.suspect_misses})"
+            )
 
 
 class HashRing:
@@ -80,7 +149,9 @@ class HashRing:
     owned by the first node point at or after its own hash (wrapping).
     Adding or removing one node therefore only moves the keys adjacent to
     that node's points -- the property that makes shard counts changeable
-    without re-homing every graph.
+    without re-homing every graph.  :meth:`owners` generalises ownership to
+    the first ``count`` *distinct* nodes along the ring, which is how the
+    cluster picks replica sets.
     """
 
     def __init__(self, nodes: Sequence[str] = (), replicas: int = 64):
@@ -125,6 +196,30 @@ class HashRing:
             index = 0
         return self._points[index][1]
 
+    def owners(self, key: str, count: int) -> Tuple[str, ...]:
+        """The first ``count`` distinct nodes at/after ``key``'s hash.
+
+        ``owners(key, count)[0] == owner(key)`` always holds; the walk
+        continues clockwise collecting distinct nodes, so the result is the
+        replica set for ``key``.  When the ring has fewer than ``count``
+        nodes, every node is returned (a cluster smaller than the
+        replication factor degrades gracefully).
+        """
+        if not self._points:
+            raise ValueError("hash ring has no nodes")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        count = min(count, len(self._nodes))
+        index = bisect.bisect_left(self._points, (self._hash(key), ""))
+        found: List[str] = []
+        for step in range(len(self._points)):
+            node = self._points[(index + step) % len(self._points)][1]
+            if node not in found:
+                found.append(node)
+                if len(found) == count:
+                    break
+        return tuple(found)
+
 
 class ClusterTicket:
     """Parent-side future for one forwarded query (or control request)."""
@@ -165,7 +260,11 @@ class _GraphRecord:
     key: str
     graph: Any  # the parent's lockstep copy (mutations applied on ack)
     fingerprint: str  # registration-time content fingerprint: the shard key
-    worker: str
+    workers: List[str]  # replica set, primary first (ring order)
+    current_fingerprint: str  # fingerprint of the *current* content (post-mutations)
+    # serialises mutate / re-register / rebalance per graph; never acquire
+    # the cluster lock while *waiting* on this one (always record -> cluster)
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
 
 class _WorkerHandle:
@@ -180,6 +279,19 @@ class _WorkerHandle:
         self.inflight_lock = threading.Lock()
         self.alive = True
         self.receiver: Optional[threading.Thread] = None
+        # graph keys whose register round-trip THIS process acknowledged; a
+        # respawned replacement starts empty and must not serve a shard's
+        # queries until re-registration confirms (else: UnknownGraphError)
+        self.registered: set = set()
+        # health-monitor state (touched only by the monitor thread)
+        self.suspect = False
+        self.missed_probes = 0
+        self.ping_ticket: Optional[Tuple[int, ClusterTicket]] = None
+        self.spawned_at = time.monotonic()
+        self.ever_answered = False  # has any ping come back from this process
+        # backpressure state
+        self.drain = DrainRateTracker()
+        self.query_inflight = 0  # query tickets only, guarded by inflight_lock
 
     def send(self, message: Tuple) -> None:
         """Thread-safe pipe send; raises WorkerCrashedError if the shard died."""
@@ -195,23 +307,27 @@ class _WorkerHandle:
 
 
 class ClusterService:
-    """Sharded multi-process front door with the single-process API surface.
+    """Replicated, sharded multi-process front door.
 
     Spawns ``num_workers`` processes (``spawn`` start method: fork-safety
     with the parent's receiver threads, and identical behaviour across
     platforms and Python versions), each hosting one
     :class:`~repro.serve.service.LaplacianService` configured by
-    ``worker_config``.  ``max_inflight`` is parent-side admission control
-    per shard: submissions beyond it shed with
-    :class:`~repro.serve.service.ServiceOverloadedError`, mirroring
-    ``FlushPolicy.max_pending`` in-process.
+    ``worker_config``.  Each registered graph lives on
+    ``replication_factor`` distinct workers; reads fail over between them
+    and mutations apply to all of them in lockstep.  ``max_inflight`` is
+    parent-side admission control per shard: submissions beyond it shed
+    with :class:`~repro.serve.service.ServiceOverloadedError` carrying a
+    ``retry_after_seconds`` hint.  ``health`` configures the background
+    probe thread (pass ``HealthPolicy(enabled=False)`` to disable it);
+    ``worker_faults`` arms deterministic cluster-level chaos (see
+    :meth:`arm_worker_faults`).
 
     Registered graphs are *copied* into the cluster: the caller's object is
     not referenced afterwards, and all mutations must go through
-    :meth:`mutate` (which forwards to the owning shard and keeps the
-    parent's copy in lockstep for crash recovery).  Use the service as a
-    context manager or call :meth:`close`, which also unlinks every
-    shared-memory segment the cluster published.
+    :meth:`mutate`.  Use the service as a context manager or call
+    :meth:`close`, which also unlinks every shared-memory segment the
+    cluster published.
     """
 
     def __init__(
@@ -221,9 +337,21 @@ class ClusterService:
         replicas: int = 64,
         max_inflight: Optional[int] = None,
         respawn: bool = True,
+        replication_factor: int = 2,
+        health: Optional[HealthPolicy] = None,
+        control_timeout_seconds: float = CONTROL_TIMEOUT_SECONDS,
+        worker_faults: Optional[Union[FaultPlan, FaultInjector]] = None,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
+        if control_timeout_seconds <= 0:
+            raise ValueError(
+                f"control_timeout_seconds must be > 0, got {control_timeout_seconds}"
+            )
         self._config = worker_config if worker_config is not None else WorkerConfig()
         self._ctx = mp.get_context("spawn")
         self._seq = itertools.count()
@@ -231,10 +359,21 @@ class ClusterService:
         self._closed = False
         self.respawn_enabled = respawn
         self.max_inflight = max_inflight
+        self.replication_factor = int(replication_factor)
+        self.control_timeout_seconds = float(control_timeout_seconds)
+        self.health_policy = health if health is not None else HealthPolicy()
         self._store = SharedArtifactStore()
         self._graphs: Dict[str, _GraphRecord] = {}
         self._workers: Dict[str, _WorkerHandle] = {}
         self.ring = HashRing(replicas=replicas)
+        self._worker_counter = num_workers
+        self._worker_injector = (
+            worker_faults
+            if isinstance(worker_faults, FaultInjector)
+            else FaultInjector(worker_faults)
+            if worker_faults is not None
+            else disarmed_injector()
+        )
         # parent-side counters (worker counters are merged on top)
         self._latencies: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
         self._queries_total = 0
@@ -242,10 +381,21 @@ class ClusterService:
         self._failures_total = 0
         self._crashes_total = 0
         self._respawns_total = 0
+        self._failovers_total = 0
+        self._suspected_total = 0
+        self._health_kills_total = 0
+        self._recovery_inflight = 0
         for i in range(num_workers):
             name = f"worker-{i}"
             self.ring.add(name)
             self._workers[name] = self._spawn(name)
+        self._health_stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        if self.health_policy.enabled:
+            self._monitor = threading.Thread(
+                target=self._health_loop, name="cluster-health", daemon=True
+            )
+            self._monitor.start()
 
     # -- process management ----------------------------------------------------
 
@@ -277,20 +427,25 @@ class ClusterService:
             if tag == "published":
                 spec: ShmArtifactSpec = message[1]
                 self._store.adopt(spec)
+                self._share_spec(spec, publisher=handle.name)
             elif tag == "reply":
                 _, seq, ok, payload = message
                 with handle.inflight_lock:
                     ticket = handle.inflight.pop(seq, None)
+                    if ticket is not None and ticket.query is not None:
+                        handle.query_inflight = max(0, handle.query_inflight - 1)
                 if ticket is None:
-                    continue
+                    continue  # fire-and-forget control (adopt/wedge) or stale seq
                 if ok:
                     ticket._resolve(payload)
                     if ticket.query is not None:
+                        handle.drain.observe()
                         self._latencies.append(
                             time.perf_counter() - ticket.submitted_at
                         )
                 else:
-                    self._failures_total += 1
+                    if ticket.query is not None:
+                        self._failures_total += 1
                     ticket._fail(payload)
 
     def _on_worker_down(self, handle: _WorkerHandle) -> None:
@@ -298,8 +453,20 @@ class ClusterService:
         with handle.inflight_lock:
             orphans = list(handle.inflight.values())
             handle.inflight.clear()
+            handle.query_inflight = 0
+            handle.ping_ticket = None
         for ticket in orphans:
-            self._failures_total += 1
+            if ticket.done:
+                continue
+            if ticket.query is not None and self._resubmit(
+                ticket, exclude=handle.name
+            ):
+                # transparently failed over to a live replica; the ticket
+                # keeps its original submission time for honest latency
+                self._failovers_total += 1
+                continue
+            if ticket.query is not None:
+                self._failures_total += 1
             ticket._fail(
                 WorkerCrashedError(
                     f"worker {handle.name!r} died with this request in flight"
@@ -309,7 +476,7 @@ class ClusterService:
             if self._closed or not self.respawn_enabled:
                 return
             if self._workers.get(handle.name) is not handle:
-                return  # already respawned by another path
+                return  # already respawned (or removed) by another path
             self._crashes_total += 1
             try:
                 handle.process.join(timeout=5.0)
@@ -321,31 +488,104 @@ class ClusterService:
             records = [
                 record
                 for record in self._graphs.values()
-                if record.worker == handle.name
+                if handle.name in record.workers
             ]
+            self._recovery_inflight += 1
         # re-register outside the cluster lock: the replacement's receiver
         # thread resolves these control requests
-        for record in records:
+        try:
+            for record in records:
+                with record.lock:
+                    try:
+                        self._register_on_worker(replacement, record)
+                    except Exception:
+                        # the replacement died immediately; its own receiver
+                        # loop will run this recovery again
+                        return
+        finally:
+            with self._lock:
+                self._recovery_inflight -= 1
+
+    def _resubmit(self, ticket: ClusterTicket, exclude: str) -> bool:
+        """Re-send an orphaned query ticket to a live replica.
+
+        Only queries fail over (they are idempotent reads against
+        deterministic replicas); the original ticket object is reused so
+        the caller's ``result()`` wait and the submission timestamp both
+        survive the hop.  Excludes the dead worker's *name* -- its
+        respawned replacement shares it and may not have re-registered yet.
+        """
+        query = ticket.query
+        with self._lock:
+            record = self._graphs.get(query.graph_key)
+        if record is None:
+            return False
+        for handle in self._route(record):
+            if handle.name == exclude:
+                continue
+            seq = next(self._seq)
+            with handle.inflight_lock:
+                handle.inflight[seq] = ticket
+                handle.query_inflight += 1
             try:
-                self._register_on_worker(replacement, record)
-            except Exception:
-                # the replacement died immediately; its own receiver loop
-                # will run this recovery again
-                return
+                handle.send(("query", seq, query))
+                return True
+            except WorkerCrashedError:
+                with handle.inflight_lock:
+                    if handle.inflight.pop(seq, None) is not None:
+                        handle.query_inflight = max(0, handle.query_inflight - 1)
+        return False
 
     def _register_on_worker(self, handle: _WorkerHandle, record: _GraphRecord) -> None:
-        specs = [
-            spec
-            for spec in self._store.owned_specs()
-            if spec.graph_key == graph_fingerprint(record.graph)
-            and spec.version == record.graph.version
-        ]
+        specs = list(
+            self._store.specs_for(record.current_fingerprint, record.graph.version)
+        )
         self._request(handle, "register", record.key, record.graph, specs)
+        handle.registered.add(record.key)
+
+    def _share_spec(self, spec: ShmArtifactSpec, publisher: str) -> None:
+        """Offer a freshly published artifact to the other replicas.
+
+        Replicas compute identical artifacts, so the first one to publish
+        wins: the others adopt the shared segment (fire-and-forget; the
+        worker-side cache swap is idempotent) instead of packing their own.
+        Matching is by *current* content fingerprint and live version, so
+        artifacts of stale versions are never pushed.
+        """
+        if self.replication_factor < 2:
+            return
+        targets: List[_WorkerHandle] = []
+        with self._lock:
+            seen = set()
+            for record in self._graphs.values():
+                if record.current_fingerprint != spec.graph_key:
+                    continue
+                if record.graph.version != spec.version:
+                    continue
+                for name in record.workers:
+                    if name == publisher or name in seen:
+                        continue
+                    seen.add(name)
+                    handle = self._workers.get(name)
+                    if handle is not None and handle.alive:
+                        targets.append(handle)
+        for handle in targets:
+            try:
+                handle.send(("adopt", next(self._seq), [spec]))
+            except WorkerCrashedError:
+                continue
 
     # -- plumbing --------------------------------------------------------------
 
     def _request(self, handle: _WorkerHandle, tag: str, *args) -> Any:
-        """Synchronous control round-trip with a liveness timeout."""
+        """Synchronous control round-trip with a liveness timeout.
+
+        A worker that does not answer within ``control_timeout_seconds`` is
+        not merely reported crashed -- it is **killed**: a wedged process
+        would otherwise keep owning its shard forever while every control
+        request times out against it.  Killing it closes the pipe, which
+        drives the ordinary crash-respawn recovery.
+        """
         seq = next(self._seq)
         ticket = ClusterTicket(query=None)
         with handle.inflight_lock:
@@ -357,22 +597,43 @@ class ClusterService:
                 handle.inflight.pop(seq, None)
             raise
         try:
-            result = ticket.result(timeout=CONTROL_TIMEOUT_SECONDS)
+            result = ticket.result(timeout=self.control_timeout_seconds)
         except TimeoutError:
             with handle.inflight_lock:
                 handle.inflight.pop(seq, None)
+            # reclaim the shard: pipe EOF funnels into _on_worker_down
+            handle.process.kill()
+            handle.process.join(timeout=10.0)
             raise WorkerCrashedError(
                 f"worker {handle.name!r} did not answer a {tag!r} request within "
-                f"{CONTROL_TIMEOUT_SECONDS:.0f}s"
+                f"{self.control_timeout_seconds:.0f}s; killed for respawn"
             ) from None
         return result
 
-    def _handle_for(self, graph_key: str) -> Tuple[_WorkerHandle, _GraphRecord]:
+    def _record_for(self, graph_key: str) -> _GraphRecord:
         with self._lock:
             record = self._graphs.get(graph_key)
-            if record is None:
-                raise KeyError(f"unknown graph key {graph_key!r}")
-            return self._workers[record.worker], record
+        if record is None:
+            raise KeyError(f"unknown graph key {graph_key!r}")
+        return record
+
+    def _route(self, record: _GraphRecord) -> List[_WorkerHandle]:
+        """Replica handles in preference order: healthy first, suspects last.
+
+        Only replicas whose *current process* has acknowledged the graph's
+        registration are eligible: a freshly respawned replacement shares
+        its predecessor's name but holds no shards until recovery
+        re-registers them, and routing a query there would bounce with
+        ``UnknownGraphError`` instead of failing over.
+        """
+        with self._lock:
+            handles = [self._workers.get(name) for name in record.workers]
+        live = [
+            h
+            for h in handles
+            if h is not None and h.alive and record.key in h.registered
+        ]
+        return [h for h in live if not h.suspect] + [h for h in live if h.suspect]
 
     # -- registration / mutation -----------------------------------------------
 
@@ -380,9 +641,12 @@ class ClusterService:
         """Register a graph cluster-wide; returns its stable query handle.
 
         The graph is copied (the cluster never aliases caller-owned mutable
-        state) and shipped to the shard that owns its content fingerprint on
-        the ring.  Re-registering the same content under the same name is
-        idempotent; reusing a name for different content raises.
+        state) and shipped to the ``replication_factor`` distinct workers
+        that own its content fingerprint on the ring.  Registration
+        succeeds if at least one replica accepted the graph (dead replicas
+        catch up through the ordinary respawn path).  Re-registering the
+        same content under the same name is idempotent; reusing a name for
+        different content raises.
         """
         fingerprint = graph_fingerprint(graph)
         key = name if name is not None else fingerprint
@@ -396,14 +660,36 @@ class ClusterService:
                 raise ValueError(
                     f"graph key {key!r} is already registered with different content"
                 )
-            worker_name = self.ring.owner(fingerprint)
-            handle = self._workers[worker_name]
+            owners = self.ring.owners(fingerprint, self.replication_factor)
             record = _GraphRecord(
-                key=key, graph=graph.copy(), fingerprint=fingerprint, worker=worker_name
+                key=key,
+                graph=graph.copy(),
+                fingerprint=fingerprint,
+                workers=list(owners),
+                current_fingerprint=fingerprint,
             )
-        self._request(handle, "register", key, record.graph, [])
-        with self._lock:
+            handles = [self._workers[name_] for name_ in owners]
             self._graphs[key] = record
+        registered = 0
+        try:
+            with record.lock:
+                for handle in handles:
+                    try:
+                        self._request(handle, "register", key, record.graph, [])
+                    except WorkerCrashedError:
+                        continue
+                    handle.registered.add(key)
+                    registered += 1
+        except BaseException:
+            with self._lock:
+                self._graphs.pop(key, None)
+            raise
+        if registered == 0:
+            with self._lock:
+                self._graphs.pop(key, None)
+            raise WorkerCrashedError(
+                f"no replica accepted graph {key!r} (all owners down)"
+            )
         return key
 
     def mutate(
@@ -411,18 +697,44 @@ class ClusterService:
     ) -> int:
         """Apply one edge mutation (``op`` in ``"add"``/``"remove"``) to a graph.
 
-        Forwarded to the owning shard first; the parent's lockstep copy is
-        only updated on the shard's acknowledgement, so a crash mid-mutation
-        leaves parent and (respawned) shard consistently *pre*-mutation.
-        Returns the graph's new version.
+        Forwarded to **every** replica in ring order under the graph's
+        lock, so replicas see mutations in an identical sequence; the
+        parent's lockstep copy is updated once at least one replica
+        acknowledged (a crash mid-mutation leaves parent and respawned
+        shard consistently together).  Dead replicas are skipped -- they
+        catch up wholesale from the parent copy on respawn.  Returns the
+        graph's new version.
         """
-        handle, record = self._handle_for(graph_key)
-        version = self._request(handle, "mutate", graph_key, op, u, v, weight)
-        if op == "add":
-            record.graph.add_edge(u, v, weight)
-        else:
-            record.graph.remove_edge(u, v)
-        return version
+        record = self._record_for(graph_key)
+        with record.lock:
+            with self._lock:
+                handles = [self._workers.get(name) for name in record.workers]
+            version: Optional[int] = None
+            crash: Optional[WorkerCrashedError] = None
+            applied = 0
+            for handle in handles:
+                if handle is None or graph_key not in handle.registered:
+                    # a respawned replacement that has not re-registered yet
+                    # catches up wholesale: recovery ships the parent copy
+                    # (which this mutation updates below) under record.lock
+                    continue
+                try:
+                    version = self._request(
+                        handle, "mutate", graph_key, op, u, v, weight
+                    )
+                    applied += 1
+                except WorkerCrashedError as error:
+                    crash = error
+            if applied == 0:
+                raise crash if crash is not None else WorkerCrashedError(
+                    f"no live replica for graph {graph_key!r}"
+                )
+            if op == "add":
+                record.graph.add_edge(u, v, weight)
+            else:
+                record.graph.remove_edge(u, v)
+            record.current_fingerprint = graph_fingerprint(record.graph)
+            return version
 
     def keys(self) -> List[str]:
         """Handles of every registered graph."""
@@ -430,43 +742,272 @@ class ClusterService:
             return list(self._graphs)
 
     def shard_of(self, graph_key: str) -> str:
-        """Name of the worker owning ``graph_key``."""
+        """Name of the *primary* worker for ``graph_key``."""
+        return self._record_for(graph_key).workers[0]
+
+    def replicas_of(self, graph_key: str) -> Tuple[str, ...]:
+        """Replica set of ``graph_key``, primary first (ring order)."""
+        return tuple(self._record_for(graph_key).workers)
+
+    # -- membership ------------------------------------------------------------
+
+    def add_worker(self, name: Optional[str] = None) -> List[str]:
+        """Spawn a new worker and rebalance; returns the moved graph keys.
+
+        The new worker joins the ring, and only the graphs whose replica
+        set the ring now assigns differently are touched: gained replicas
+        are registered from the parent's lockstep copy plus the
+        already-published shared-memory artifacts (re-attach, not rebuild),
+        lost replicas are unregistered.  Names auto-increment unless given.
+        """
         with self._lock:
-            return self._graphs[graph_key].worker
+            if self._closed:
+                raise RuntimeError("cluster is closed")
+            if name is None:
+                name = f"worker-{self._worker_counter}"
+                self._worker_counter += 1
+            if name in self._workers:
+                raise ValueError(f"worker {name!r} already exists")
+            self._workers[name] = self._spawn(name)
+            self.ring.add(name)
+            records = list(self._graphs.values())
+        moved = []
+        for record in records:
+            if self._rebalance_record(record):
+                moved.append(record.key)
+        return moved
+
+    def remove_worker(self, name: str, drain: bool = True) -> List[str]:
+        """Retire one worker and rebalance; returns the moved graph keys.
+
+        With ``drain=True`` (the default) the worker keeps serving while
+        its keys are re-homed, then shuts down gracefully; with
+        ``drain=False`` it is killed first and its keys re-home afterwards
+        (replicas cover reads in the gap).  Removing the last worker
+        raises.
+        """
+        with self._lock:
+            if name not in self._workers:
+                raise KeyError(f"unknown worker {name!r}")
+            if len(self._workers) == 1:
+                raise ValueError("cannot remove the last worker")
+            self.ring.remove(name)
+            records = [r for r in self._graphs.values() if name in r.workers]
+            if not drain:
+                handle = self._workers.pop(name)
+        moved = []
+        if drain:
+            for record in records:
+                if self._rebalance_record(record):
+                    moved.append(record.key)
+            with self._lock:
+                handle = self._workers.pop(name)
+            try:
+                self._request(handle, "shutdown")
+            except Exception:
+                pass
+        else:
+            handle.process.kill()
+            handle.process.join(timeout=10.0)
+            for record in records:
+                if self._rebalance_record(record):
+                    moved.append(record.key)
+        handle.process.join(timeout=5.0)
+        if handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(timeout=5.0)
+        try:
+            handle.conn.close()
+        except Exception:
+            pass
+        return moved
+
+    def _rebalance_record(self, record: _GraphRecord) -> bool:
+        """Bring one graph's replica placement in line with the ring."""
+        with record.lock:
+            with self._lock:
+                new_owners = list(
+                    self.ring.owners(record.fingerprint, self.replication_factor)
+                )
+                old_owners = list(record.workers)
+                gained = [n for n in new_owners if n not in old_owners]
+                lost = [n for n in old_owners if n not in new_owners]
+                gained_handles = [
+                    self._workers[n] for n in gained if n in self._workers
+                ]
+                lost_handles = [self._workers[n] for n in lost if n in self._workers]
+            for handle in gained_handles:
+                try:
+                    self._register_on_worker(handle, record)
+                except WorkerCrashedError:
+                    pass  # the respawn path re-registers
+            record.workers = new_owners
+            for handle in lost_handles:
+                handle.registered.discard(record.key)
+                try:
+                    self._request(handle, "unregister", record.key)
+                except Exception:
+                    pass
+            return bool(gained or lost)
+
+    # -- health monitoring -----------------------------------------------------
+
+    def _health_loop(self) -> None:
+        interval = self.health_policy.probe_interval_seconds
+        while not self._health_stop.wait(interval):
+            with self._lock:
+                if self._closed:
+                    return
+                handles = sorted(self._workers.values(), key=lambda h: h.name)
+            for handle in handles:
+                try:
+                    self._probe(handle)
+                except Exception:
+                    continue
+
+    def _probe(self, handle: _WorkerHandle) -> None:
+        """One monitor tick for one worker: chaos, ping accounting, ladder."""
+        if not handle.alive or not handle.process.is_alive():
+            return
+        injector = self._worker_injector
+        if injector.worker_kill(handle.name):
+            handle.process.kill()
+            return
+        wedge_seconds = injector.worker_wedge(handle.name)
+        if wedge_seconds is not None:
+            try:
+                handle.send(("wedge", next(self._seq), float(wedge_seconds)))
+            except WorkerCrashedError:
+                return
+        policy = self.health_policy
+        in_grace = (
+            not handle.ever_answered
+            and time.monotonic() - handle.spawned_at < policy.startup_grace_seconds
+        )
+        outstanding = handle.ping_ticket
+        if outstanding is not None:
+            _, ticket = outstanding
+            if ticket.done:
+                handle.ping_ticket = None
+                ok = ticket._error is None
+                if ok:
+                    handle.ever_answered = True
+                if ok and injector.drop_ping(handle.name):
+                    ok = False  # chaos: pretend the heartbeat was lost
+                if ok:
+                    handle.missed_probes = 0
+                    handle.suspect = False
+                elif not in_grace:
+                    handle.missed_probes += 1
+            elif not in_grace:
+                handle.missed_probes += 1
+        if handle.missed_probes >= policy.dead_misses:
+            # wedged, not crashed: kill it so the pipe EOF drives respawn
+            self._health_kills_total += 1
+            handle.process.kill()
+            return
+        if handle.missed_probes >= policy.suspect_misses and not handle.suspect:
+            handle.suspect = True
+            self._suspected_total += 1
+        if handle.ping_ticket is None:
+            seq = next(self._seq)
+            ticket = ClusterTicket(query=None)
+            with handle.inflight_lock:
+                handle.inflight[seq] = ticket
+            try:
+                handle.send(("ping", seq))
+            except WorkerCrashedError:
+                with handle.inflight_lock:
+                    handle.inflight.pop(seq, None)
+                return
+            handle.ping_ticket = (seq, ticket)
+
+    def arm_worker_faults(
+        self, plan: Optional[Union[FaultPlan, FaultInjector]] = None
+    ) -> FaultInjector:
+        """Install (or clear) the worker-scoped chaos injector.
+
+        Accepts a :class:`~repro.serve.faults.FaultPlan` (wrapped in a
+        fresh injector), an armed :class:`~repro.serve.faults.FaultInjector`
+        (used as-is, so tests can inspect ``fired_total``), or ``None`` to
+        disarm.  The monitor thread consults it once per worker per probe
+        tick, in sorted worker order, so a seeded plan produces a
+        deterministic fault schedule.
+        """
+        if plan is None:
+            injector = disarmed_injector()
+        elif isinstance(plan, FaultInjector):
+            injector = plan
+        else:
+            injector = FaultInjector(plan)
+        self._worker_injector = injector
+        return injector
+
+    def wedge_worker(self, name: str, seconds: float) -> None:
+        """Make one worker sleep in its message loop (health-monitor drills).
+
+        The worker stops answering pings (and everything else) for
+        ``seconds``; a duration past the monitor's dead threshold gets it
+        killed and respawned, exactly like a real wedge.
+        """
+        with self._lock:
+            handle = self._workers[name]
+        handle.send(("wedge", next(self._seq), float(seconds)))
 
     # -- submission ------------------------------------------------------------
 
     def submit(self, query: Query) -> ClusterTicket:
-        """Forward ``query`` to its owning shard; returns a ticket.
+        """Forward ``query`` to a replica of its graph; returns a ticket.
 
-        Sheds with :class:`~repro.serve.service.ServiceOverloadedError` when
-        the shard already has ``max_inflight`` parent-side requests pending;
-        raises :class:`WorkerCrashedError` if the shard is down and not yet
-        respawned.
+        Routes to the primary, failing over to live replicas when the
+        primary is down or suspect.  Sheds with
+        :class:`~repro.serve.service.ServiceOverloadedError` -- carrying a
+        ``retry_after_seconds`` estimate from the shard's queue depth and
+        drain rate -- when the chosen shard already has ``max_inflight``
+        parent-side queries pending; raises :class:`WorkerCrashedError` if
+        no replica is up.  Every accepted submission is counted exactly
+        once, regardless of how many replicas were tried.
         """
-        handle, _ = self._handle_for(query.graph_key)
-        seq = next(self._seq)
+        record = self._record_for(query.graph_key)
         ticket = ClusterTicket(query=query)
-        with handle.inflight_lock:
-            if (
-                self.max_inflight is not None
-                and len(handle.inflight) >= self.max_inflight
-            ):
-                self._rejected_total += 1
-                raise ServiceOverloadedError(
-                    f"shard {handle.name!r} has {len(handle.inflight)} requests in "
-                    f"flight >= max_inflight={self.max_inflight}; retry later"
-                )
-            handle.inflight[seq] = ticket
-        try:
-            handle.send(("query", seq, query))
-        except WorkerCrashedError:
+        accepted = False
+        last_error: Optional[WorkerCrashedError] = None
+        for handle in self._route(record):
             with handle.inflight_lock:
-                handle.inflight.pop(seq, None)
+                if (
+                    self.max_inflight is not None
+                    and handle.query_inflight >= self.max_inflight
+                ):
+                    self._rejected_total += 1
+                    retry_after = estimate_retry_after(
+                        handle.query_inflight, handle.drain.rate()
+                    )
+                    raise ServiceOverloadedError(
+                        f"shard {handle.name!r} has {handle.query_inflight} queries "
+                        f"in flight >= max_inflight={self.max_inflight}; retry in "
+                        f"~{retry_after:.3f}s",
+                        retry_after_seconds=retry_after,
+                    )
+                seq = next(self._seq)
+                handle.inflight[seq] = ticket
+                handle.query_inflight += 1
+            if not accepted:
+                accepted = True
+                self._queries_total += 1
+            try:
+                handle.send(("query", seq, query))
+                return ticket
+            except WorkerCrashedError as error:
+                last_error = error
+                with handle.inflight_lock:
+                    if handle.inflight.pop(seq, None) is not None:
+                        handle.query_inflight = max(0, handle.query_inflight - 1)
+        if accepted:
             self._failures_total += 1
-            raise
-        self._queries_total += 1
-        return ticket
+            raise last_error
+        raise WorkerCrashedError(
+            f"no live replica for graph {query.graph_key!r} (respawn pending)"
+        )
 
     def _submit_and_wait(self, query: Query) -> RemoteResult:
         return self.submit(query).result(timeout=None)
@@ -550,14 +1091,15 @@ class ClusterService:
         by summation; ``latency_seconds`` is the *parent-side end-to-end*
         percentile view (pipe + queue + compute), which is what a client
         experiences.  Per-worker snapshots ride along under ``per_worker``
-        for drill-down.  Unresponsive workers are skipped (their crash
-        accounting shows up in ``worker_crashes``/``worker_respawns``).
+        for drill-down.  Dead and *suspect* workers are skipped (a suspect
+        worker is by definition slow to answer control requests; its state
+        shows up in ``workers_suspect`` instead).
         """
         per_worker: List[Dict[str, Any]] = []
         with self._lock:
             handles = list(self._workers.values())
         for handle in handles:
-            if not handle.alive:
+            if not handle.alive or handle.suspect:
                 continue
             try:
                 snapshot = self._request(handle, "metrics")
@@ -567,11 +1109,16 @@ class ClusterService:
             per_worker.append(snapshot)
         merged: Dict[str, Any] = {
             "workers": len(handles),
+            "replication_factor": self.replication_factor,
             "queries_total": self._queries_total,
             "rejected_total": self._rejected_total,
             "failures_total": self._failures_total,
+            "failover_resubmits": self._failovers_total,
             "worker_crashes": self._crashes_total,
             "worker_respawns": self._respawns_total,
+            "workers_suspected_total": self._suspected_total,
+            "workers_suspect": sum(1 for h in handles if h.alive and h.suspect),
+            "health_kills": self._health_kills_total,
             "registered_graphs": len(self._graphs),
             "shm_segments": len(self._store.owned_specs()),
         }
@@ -597,10 +1144,11 @@ class ClusterService:
     def kill_worker(self, name: str) -> None:
         """Hard-kill one shard process (crash-recovery tests and drills).
 
-        The receiver thread observes the dead pipe, fails that shard's
-        in-flight tickets with :class:`WorkerCrashedError` and -- when
-        respawning is enabled -- brings up a replacement that re-registers
-        the shard's graphs and re-attaches its shared artifacts.
+        The receiver thread observes the dead pipe, resubmits that shard's
+        in-flight queries to live replicas (failing over transparently) and
+        -- when respawning is enabled -- brings up a replacement that
+        re-registers the shard's graphs and re-attaches its shared
+        artifacts.
         """
         with self._lock:
             handle = self._workers[name]
@@ -608,12 +1156,20 @@ class ClusterService:
         handle.process.join(timeout=10.0)
 
     def wait_recovered(self, timeout: float = 30.0) -> bool:
-        """Block until every shard process is alive again; returns success."""
+        """Block until every shard is alive *and* fully re-registered.
+
+        Returns ``False`` on timeout.  "Recovered" means every worker
+        process is running and no crash-recovery re-registration is still
+        in flight, so the full graph set serves again.
+        """
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
             with self._lock:
                 handles = list(self._workers.values())
-            if all(h.alive and h.process.is_alive() for h in handles):
+                recovering = self._recovery_inflight
+            if recovering == 0 and all(
+                h.alive and h.process.is_alive() for h in handles
+            ):
                 return True
             time.sleep(0.05)
         return False
@@ -625,6 +1181,9 @@ class ClusterService:
                 return
             self._closed = True
             handles = list(self._workers.values())
+        self._health_stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
         for handle in handles:
             if handle.alive:
                 try:

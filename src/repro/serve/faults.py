@@ -26,6 +26,13 @@ failures originate:
     a matching query's *output* is silently overwritten with NaN before the
     planner's numerical-health guard sees it -- proving the guard refuses
     (``NumericalHealthError``) instead of returning garbage.
+``worker_kill`` / ``worker_wedge`` / ``worker_drop_ping``
+    *process-tier* faults, driven from the cluster parent's health-monitor
+    tick rather than the planner: hard-kill a worker process, inject a
+    blocking delay into a worker's message loop (a hang without a crash),
+    or discard a worker's heartbeat reply.  These seams never raise -- they
+    return the seeded decision and the monitor performs the action (see
+    ``ClusterService`` and ``FaultPlan.cluster_chaos``).
 
 Latency is injected through ``delay_seconds`` on any rule (with
 ``fail=False`` for a pure slowdown), which is how deadline enforcement is
@@ -51,7 +58,21 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 #: Operations a :class:`FaultRule` can target (see the module docstring).
-FAULT_OPS = ("build", "execute", "repair", "nan")
+FAULT_OPS = (
+    "build",
+    "execute",
+    "repair",
+    "nan",
+    "worker_kill",
+    "worker_wedge",
+    "worker_drop_ping",
+)
+
+#: Worker-scoped ops: driven from the cluster parent's health-monitor tick,
+#: never from the planner's seams.  These never raise -- the monitor reads
+#: the decision and performs the action (kill the process, send a wedge
+#: message, discard a heartbeat) itself.
+WORKER_FAULT_OPS = ("worker_kill", "worker_wedge", "worker_drop_ping")
 
 
 class FaultInjectionError(RuntimeError):
@@ -75,8 +96,15 @@ class FaultRule:
     ``op`` selects the seam (one of :data:`FAULT_OPS`); the optional
     selectors narrow it -- ``kind`` matches the artifact kind for ``build``
     seams and the query kind elsewhere, ``query_id`` pins a specific query
-    (``execute``/``nan``), ``step`` pins a repair-walk record index.  A
-    selector left ``None`` matches everything at that seam.
+    (``execute``/``nan``), ``step`` pins a repair-walk record index, and
+    ``worker`` pins a cluster worker name for the worker-scoped ops
+    (:data:`WORKER_FAULT_OPS`).  A selector left ``None`` matches everything
+    at that seam.
+
+    For ``worker_wedge`` rules, ``delay_seconds`` is the injected blocking
+    delay the wedged worker sleeps for (its message loop stalls that long
+    without crashing); worker rules never raise, so ``fail``/``transient``
+    are ignored on them.
 
     Behaviour knobs: ``probability`` gates each firing on a seeded coin,
     ``times`` caps total firings (``None`` = unlimited), ``delay_seconds``
@@ -89,6 +117,7 @@ class FaultRule:
     kind: Optional[str] = None
     query_id: Optional[int] = None
     step: Optional[int] = None
+    worker: Optional[str] = None
     probability: float = 1.0
     times: Optional[int] = None
     delay_seconds: float = 0.0
@@ -99,6 +128,13 @@ class FaultRule:
     def __post_init__(self):
         if self.op not in FAULT_OPS:
             raise ValueError(f"unknown fault op {self.op!r}; use one of {FAULT_OPS}")
+        if self.worker is not None and self.op not in WORKER_FAULT_OPS:
+            raise ValueError(
+                f"the worker selector only applies to worker ops "
+                f"{WORKER_FAULT_OPS}, not {self.op!r}"
+            )
+        if self.op == "worker_wedge" and self.delay_seconds <= 0:
+            raise ValueError("worker_wedge rules need delay_seconds > 0")
         if not (0.0 <= self.probability <= 1.0):
             raise ValueError(f"probability must lie in [0, 1], got {self.probability}")
         if self.times is not None and self.times < 1:
@@ -152,6 +188,53 @@ class FaultPlan:
         if delay_seconds > 0:
             rules.append(
                 FaultRule(op="execute", probability=1.0, fail=False, delay_seconds=delay_seconds)
+            )
+        return cls(rules=tuple(rules), seed=seed)
+
+    @classmethod
+    def cluster_chaos(
+        cls,
+        seed: int,
+        kill_rate: float = 0.05,
+        wedge_rate: float = 0.0,
+        drop_ping_rate: float = 0.0,
+        wedge_seconds: float = 1.0,
+        max_kills: Optional[int] = None,
+        max_wedges: Optional[int] = None,
+        worker: Optional[str] = None,
+    ) -> "FaultPlan":
+        """A seeded plan for the *process-tier* seams the cluster parent drives.
+
+        Each health-monitor tick evaluates these rules once per worker (in
+        sorted worker order, so the seeded stream is deterministic):
+        ``kill_rate`` hard-kills the probed worker, ``wedge_rate`` injects a
+        ``wedge_seconds`` blocking delay into its message loop (a hang, not
+        a crash -- what the suspect ladder must catch), and
+        ``drop_ping_rate`` discards its heartbeat reply (a flaky link).
+        ``max_kills`` / ``max_wedges`` cap total firings so a chaos trace
+        cannot depopulate (or permanently stall) the cluster; ``worker``
+        pins every rule to one shard.
+        """
+        rules = []
+        if kill_rate > 0:
+            rules.append(
+                FaultRule(
+                    op="worker_kill", probability=kill_rate, times=max_kills, worker=worker
+                )
+            )
+        if wedge_rate > 0:
+            rules.append(
+                FaultRule(
+                    op="worker_wedge",
+                    probability=wedge_rate,
+                    times=max_wedges,
+                    delay_seconds=wedge_seconds,
+                    worker=worker,
+                )
+            )
+        if drop_ping_rate > 0:
+            rules.append(
+                FaultRule(op="worker_drop_ping", probability=drop_ping_rate, worker=worker)
             )
         return cls(rules=tuple(rules), seed=seed)
 
@@ -218,6 +301,48 @@ class FaultInjector:
         numerical-health guard.
         """
         return self._fire("nan", kind=query.kind, query_id=query.query_id)
+
+    # -- worker-scoped seams (called by the cluster's health monitor) ----------
+
+    def worker_kill(self, worker: str) -> bool:
+        """Whether a ``worker_kill`` rule fires for this worker's probe tick."""
+        return self._fire_worker("worker_kill", worker) is not None
+
+    def worker_wedge(self, worker: str) -> Optional[float]:
+        """Seconds of injected blocking delay for this worker, or ``None``.
+
+        The parent sends the wedged worker a ``wedge`` message; the worker
+        sleeps inside its message loop for that long, exactly like a hung
+        kernel call would stall it, so the health monitor's suspect -> dead
+        ladder is exercised without a crash.
+        """
+        rule = self._fire_worker("worker_wedge", worker)
+        return rule.delay_seconds if rule is not None else None
+
+    def drop_ping(self, worker: str) -> bool:
+        """Whether this worker's answered heartbeat should be discarded."""
+        return self._fire_worker("worker_drop_ping", worker) is not None
+
+    def _fire_worker(self, op: str, worker: str) -> Optional[FaultRule]:
+        """Non-raising rule match for the worker seams; returns the fired rule.
+
+        Unlike :meth:`_fire` this never sleeps and never raises -- the
+        health monitor owns the action (the injector only makes the seeded
+        decision), so a wedge delay must not block the parent's monitor
+        thread.  The first matching rule wins.
+        """
+        for index, rule in self._by_op.get(op, ()):
+            if rule.worker is not None and rule.worker != worker:
+                continue
+            with self._lock:
+                if rule.times is not None and self._fired[index] >= rule.times:
+                    continue
+                if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                    continue
+                self._fired[index] += 1
+                self.fired_total += 1
+            return rule
+        return None
 
     # -- internals -------------------------------------------------------------
 

@@ -17,6 +17,13 @@ from four small pieces that live here:
 * :class:`HealthStats` -- thread-safe counters surfaced through
   ``metrics_snapshot`` (``retries_total``, ``breaker_open_total``,
   ``degraded_total``, ``deadline_misses``).
+* :class:`DrainRateTracker` / :func:`estimate_retry_after` -- the shared
+  backpressure-hint machinery: both front doors (the in-process service and
+  the cluster) track how fast their queue actually drains and attach
+  ``retry_after_seconds = depth / drain_rate`` to every
+  :class:`~repro.serve.service.ServiceOverloadedError` they shed, so a
+  well-behaved client backs off for exactly as long as the overload is
+  expected to last instead of guessing.
 
 The typed errors clients can observe are also defined (or re-exported)
 here: :class:`DeadlineExceededError`, :class:`ArtifactBreakerOpenError`, and
@@ -29,6 +36,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
@@ -229,6 +237,72 @@ class CircuitBreaker:
             victim = next(iter(self._failures))
             self._failures.pop(victim)
             self._opened_at.pop(victim, None)
+
+
+class DrainRateTracker:
+    """Observed completion rate of a queue, over a sliding event window.
+
+    Both front doors record ``observe(count)`` whenever completions land
+    (a flush in-process, a query reply in the cluster) and read ``rate()``
+    when they must shed: the current queue depth divided by this rate is
+    how long an honest *retry-after* hint says the backlog will take to
+    drain.  Thread-safe; ``rate()`` returns ``None`` until the window holds
+    observations spanning a positive time interval (a cold or idle queue
+    has no defensible estimate -- callers fall back to a default hint).
+    """
+
+    def __init__(self, window: int = 128):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self._lock = threading.Lock()
+        self._events: "deque[Tuple[float, int]]" = deque(maxlen=window)
+
+    def observe(self, count: int = 1, now: Optional[float] = None) -> None:
+        """Record ``count`` completions at time ``now`` (monotonic seconds)."""
+        if count <= 0:
+            return
+        stamp = time.monotonic() if now is None else now
+        with self._lock:
+            self._events.append((stamp, int(count)))
+
+    def rate(self, now: Optional[float] = None) -> Optional[float]:
+        """Completions per second over the window, or ``None`` if unknown.
+
+        Measured from the oldest retained observation to ``now`` (so a
+        queue that *stopped* draining reports a decaying rate rather than
+        its last burst's instantaneous one).
+        """
+        stamp = time.monotonic() if now is None else now
+        with self._lock:
+            if len(self._events) < 2:
+                return None
+            oldest, first_count = self._events[0]
+            total = sum(count for _, count in self._events) - first_count
+            span = stamp - oldest
+        if span <= 0 or total <= 0:
+            return None
+        return total / span
+
+
+def estimate_retry_after(
+    depth: int,
+    drain_rate: Optional[float],
+    default_seconds: float = 0.05,
+    min_seconds: float = 0.001,
+    max_seconds: float = 5.0,
+) -> float:
+    """The retry-after hint for a shed request: time to drain ``depth``.
+
+    ``depth / drain_rate``, clamped to ``[min_seconds, max_seconds]`` so a
+    momentary rate glitch cannot tell clients to wait an hour; with no
+    usable rate (``None`` or non-positive) the conservative
+    ``default_seconds`` is returned.  This is the one formula both the
+    in-process and the cluster front door use, so the contract documented
+    in ``docs/resilience.md`` cannot fork between them.
+    """
+    if drain_rate is None or drain_rate <= 0:
+        return default_seconds
+    return float(min(max_seconds, max(min_seconds, depth / drain_rate)))
 
 
 def call_with_retries(

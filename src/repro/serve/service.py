@@ -51,9 +51,11 @@ from repro.serve.planner import (
 from repro.serve.registry import GraphRegistry
 from repro.serve.resilience import (
     DeadlineExceededError,
+    DrainRateTracker,
     HealthStats,
     ResiliencePolicy,
     call_with_retries,
+    estimate_retry_after,
 )
 from repro.solvers.laplacian import LaplacianSolveReport
 
@@ -65,7 +67,20 @@ class ServiceOverloadedError(RuntimeError):
     the caller's work is rejected intact (no half-registered ticket), and a
     well-behaved client backs off and retries.  Rejections are counted in
     ``metrics_snapshot()["rejected_total"]``.
+
+    ``retry_after_seconds`` is the server's backpressure hint: the current
+    queue depth divided by the observed drain rate (see
+    :func:`~repro.serve.resilience.estimate_retry_after`), i.e. how long the
+    backlog is expected to take to clear.  Both the in-process service and
+    the cluster front door attach it; ``None`` means the shedding side had
+    no estimate (clients fall back to their own backoff, as the traffic
+    harness's :class:`~repro.serve.traffic.ClientRetryPolicy` does).
     """
+
+    def __init__(self, message: str, retry_after_seconds: Optional[float] = None):
+        super().__init__(message)
+        #: server-computed backoff hint in seconds, or ``None`` if unknown
+        self.retry_after_seconds = retry_after_seconds
 
 
 @dataclass(frozen=True)
@@ -283,6 +298,8 @@ class LaplacianService:
         # so build retries and batch retries draw independent sequences
         self._retry_rng = np.random.default_rng(self.resilience.seed + 1)
         self._pending: List[Tuple[Query, QueryTicket]] = []
+        #: observed flush throughput, for the retry-after hint on shed
+        self._drain = DrainRateTracker()
         self._oldest_pending: Optional[float] = None
         self._lock = threading.RLock()
         self._execute_lock = threading.Lock()
@@ -328,9 +345,13 @@ class LaplacianService:
                 raise RuntimeError("service is closed")
             if max_pending is not None and len(self._pending) >= max_pending:
                 self.metrics.observe_rejection()
+                retry_after = estimate_retry_after(
+                    len(self._pending), self._drain.rate()
+                )
                 raise ServiceOverloadedError(
                     f"submission queue is full ({len(self._pending)} pending >= "
-                    f"max_pending={max_pending}); retry after a flush"
+                    f"max_pending={max_pending}); retry in ~{retry_after:.3f}s",
+                    retry_after_seconds=retry_after,
                 )
             self._pending.append((query, ticket))
             if self._oldest_pending is None:
@@ -388,6 +409,7 @@ class LaplacianService:
         self.metrics.observe(results, batches=len(batches))
         if failed:
             self.metrics.observe_failures(failed)
+        self._drain.observe(len(queries))
         return len(queries)
 
     def _run_batch(

@@ -251,6 +251,27 @@ class SharedArtifactStore:
         with self._lock:
             return tuple(self._owned.values())
 
+    def specs_for(
+        self, graph_key: str, version: Optional[int] = None
+    ) -> Tuple[ShmArtifactSpec, ...]:
+        """Owned specs for one graph fingerprint (optionally one version).
+
+        The cluster parent's replica/respawn path: when a graph is
+        (re-)registered on a worker, the specs of every artifact already
+        published for its *current* content ride along so the worker
+        re-attaches instead of rebuilding.  With replication the same
+        artifact may be published once per replica (each worker packs its
+        own segment); all of them are owned -- and unlinked -- by the
+        parent, and any one of them serves a re-attach.
+        """
+        with self._lock:
+            return tuple(
+                spec
+                for spec in self._owned.values()
+                if spec.graph_key == graph_key
+                and (version is None or spec.version == version)
+            )
+
     def unlink(self, segment: str) -> bool:
         """Unlink one owned segment; returns whether it still existed."""
         with self._lock:

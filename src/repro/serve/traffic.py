@@ -21,6 +21,11 @@ door surface and reports what a load balancer would want to know:
 throughput, p50/p99 end-to-end latency, shed rate
 (:class:`~repro.serve.service.ServiceOverloadedError`) and typed failures
 -- every event is accounted for as ok, shed, or failed; none are dropped.
+An optional :class:`ClientRetryPolicy` makes clients honour the server's
+``retry_after_seconds`` backpressure hint: shed events are retried (with
+seeded jittered backoff) before being counted, and retried-then-ok events
+are tallied separately so ``shed_rate`` stays an honest measure of work the
+cluster ultimately refused.
 """
 
 from __future__ import annotations
@@ -67,6 +72,61 @@ class TrafficConfig:
 
 
 @dataclass(frozen=True)
+class ClientRetryPolicy:
+    """How trace clients react to :class:`ServiceOverloadedError` sheds.
+
+    With ``honor_retry_after=True`` (the default) a shed whose error
+    carries the server's ``retry_after_seconds`` hint sleeps that long
+    (plus jitter) before retrying; otherwise -- and for hintless sheds --
+    clients fall back to seeded exponential backoff.  An event is counted
+    shed only after ``max_retries`` retries all shed too; an event that
+    eventually resolves counts ok (and ``retried_ok``), never shed.
+    Jitter is drawn from a per-client rng seeded by ``(seed, client)``, so
+    replays are deterministic.
+    """
+
+    #: how many times one event may be retried before counting as shed
+    max_retries: int = 3
+    #: first fallback backoff step (seconds), when no hint is honoured
+    backoff_seconds: float = 0.02
+    #: multiplier applied to the fallback backoff per retry
+    backoff_multiplier: float = 2.0
+    #: hard cap on any single sleep (hinted or fallback)
+    max_backoff_seconds: float = 1.0
+    #: sleep is scaled by ``1 + jitter * U[0, 1)`` to de-synchronise clients
+    jitter: float = 0.25
+    #: whether to prefer the server's ``retry_after_seconds`` hint
+    honor_retry_after: bool = True
+    #: base seed of the per-client jitter streams
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_seconds <= 0 or self.max_backoff_seconds <= 0:
+            raise ValueError("backoff bounds must be > 0")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def delay(
+        self, attempt: int, retry_after: Optional[float], rng: np.random.Generator
+    ) -> float:
+        """Sleep before retry number ``attempt + 1`` (seconds, jittered)."""
+        if self.honor_retry_after and retry_after is not None and retry_after > 0:
+            base = float(retry_after)
+        else:
+            base = self.backoff_seconds * self.backoff_multiplier**attempt
+        base = min(base, self.max_backoff_seconds)
+        if self.jitter > 0:
+            base *= 1.0 + self.jitter * float(rng.random())
+        return base
+
+    def rng_for(self, client: int) -> np.random.Generator:
+        """The deterministic jitter stream of one trace client."""
+        return np.random.default_rng((self.seed, client))
+
+
+@dataclass(frozen=True)
 class TraceEvent:
     """One replayable event: plain data only (no arrays, no graph refs)."""
 
@@ -103,7 +163,12 @@ class TrafficReport:
     event either resolves, is shed with
     :class:`~repro.serve.service.ServiceOverloadedError`, or fails with a
     typed error recorded in ``failures_by_type`` -- no event is silently
-    lost, which is the invariant the worker-kill test asserts.
+    lost, which is the invariant the worker-kill test asserts.  Retries
+    (under a :class:`ClientRetryPolicy`) never double-count: an event that
+    sheds then resolves counts ok once, with its retries recorded in
+    ``retried_total`` / ``retries_by_event`` and the event itself in
+    ``retried_ok``, so ``shed_rate`` reflects only work the service
+    ultimately refused.
     """
 
     events_total: int = 0
@@ -115,6 +180,12 @@ class TrafficReport:
     latencies: List[float] = field(default_factory=list)
     #: event index -> answer (only when ``record_answers=True``)
     answers: Dict[int, Any] = field(default_factory=dict)
+    #: total retry attempts across all events
+    retried_total: int = 0
+    #: events that shed at least once and then resolved ok
+    retried_ok: int = 0
+    #: event index -> retry attempts it took (only events retried >= once)
+    retries_by_event: Dict[int, int] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -143,6 +214,8 @@ class TrafficReport:
             "seconds": self.seconds,
             "throughput_qps": self.throughput,
             "shed_rate": self.shed_rate,
+            "retried_total": self.retried_total,
+            "retried_ok": self.retried_ok,
             "latency_p50": self.percentile(50),
             "latency_p99": self.percentile(99),
         }
@@ -293,6 +366,7 @@ def run_trace(
     mutate_fn: Optional[Callable[[str, int, int, float], Any]] = None,
     concurrent: bool = True,
     record_answers: bool = False,
+    retry_policy: Optional[ClientRetryPolicy] = None,
 ) -> TrafficReport:
     """Replay ``trace`` against ``service`` and measure it.
 
@@ -300,8 +374,11 @@ def run_trace(
     stay ordered *within* a client, interleave freely across clients --
     the realistic load shape); ``concurrent=False`` replays the whole trace
     sequentially in submission order, which is fully deterministic and is
-    the mode answer-comparison runs use.  Every event resolves to ok / shed
-    / typed failure in the report; see :class:`TrafficReport`.
+    the mode answer-comparison runs use.  With a ``retry_policy``, shed
+    events are retried per that policy (honouring the server's
+    ``retry_after_seconds`` hint) before being counted.  Every event
+    resolves to ok / shed / typed failure in the report; see
+    :class:`TrafficReport`.
     """
     if len(keys) != trace.n_graphs:
         raise ValueError(
@@ -311,31 +388,54 @@ def run_trace(
     lock = threading.Lock()
 
     def run_events(events: Sequence[TraceEvent]) -> None:
+        rngs: Dict[int, np.random.Generator] = {}
         for event in events:
-            start = time.perf_counter()
-            try:
-                answer = apply_event(
-                    service, keys, sizes, event, trace.config, mutate_fn
-                )
-            except ServiceOverloadedError:
-                with lock:
-                    report.shed += 1
-            except Exception as error:
-                name = type(error).__name__
-                with lock:
-                    report.failed += 1
-                    report.failures_by_type[name] = (
-                        report.failures_by_type.get(name, 0) + 1
+            attempts = 0
+            while True:
+                start = time.perf_counter()
+                try:
+                    answer = apply_event(
+                        service, keys, sizes, event, trace.config, mutate_fn
                     )
-            else:
-                elapsed = time.perf_counter() - start
-                with lock:
-                    report.ok += 1
-                    report.latencies.append(elapsed)
-                    # mutate acks are implementation-specific (version int
-                    # vs None), not comparable answers
-                    if record_answers and event.kind != "mutate":
-                        report.answers[event.index] = answer
+                except ServiceOverloadedError as error:
+                    if (
+                        retry_policy is not None
+                        and attempts < retry_policy.max_retries
+                    ):
+                        rng = rngs.get(event.client)
+                        if rng is None:
+                            rng = rngs[event.client] = retry_policy.rng_for(
+                                event.client
+                            )
+                        hint = getattr(error, "retry_after_seconds", None)
+                        sleep_for = retry_policy.delay(attempts, hint, rng)
+                        attempts += 1
+                        with lock:
+                            report.retried_total += 1
+                            report.retries_by_event[event.index] = attempts
+                        time.sleep(sleep_for)
+                        continue
+                    with lock:
+                        report.shed += 1
+                except Exception as error:
+                    name = type(error).__name__
+                    with lock:
+                        report.failed += 1
+                        report.failures_by_type[name] = (
+                            report.failures_by_type.get(name, 0) + 1
+                        )
+                else:
+                    elapsed = time.perf_counter() - start
+                    with lock:
+                        report.ok += 1
+                        if attempts:
+                            report.retried_ok += 1
+                        report.latencies.append(elapsed)
+                        # mutate acks are implementation-specific (version int
+                        # vs None), not comparable answers
+                        if record_answers and event.kind != "mutate":
+                            report.answers[event.index] = answer
+                break
 
     started = time.perf_counter()
     if not concurrent:
@@ -362,7 +462,9 @@ def compare_answers(
     """Compare two answer-recorded replays of one trace.
 
     Returns ``(compared, max_abs_difference)`` over the event indices both
-    reports answered; raises if an answer pair disagrees in shape.  The
+    reports answered; raises if an answer pair disagrees in shape.  Events
+    that shed-then-resolved under a retry policy recorded their answer like
+    any other ok event, so retried-then-ok events compare normally.  The
     cluster acceptance gate asserts the difference stays below ``1e-8``.
     """
     compared = 0

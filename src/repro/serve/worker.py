@@ -16,6 +16,17 @@ message protocol over a :class:`multiprocessing.Pipe`:
 * ``("mutate", seq, key, op, u, v, weight)`` -- apply one edge mutation to
   the shard's copy of the graph (the planner's repair machinery then
   migrates or rebuilds artifacts as usual).
+* ``("unregister", seq, key)`` -- drop a graph this shard no longer owns
+  (runtime membership moved it to another worker); its cached artifacts
+  age out of the LRU.
+* ``("adopt", seq, specs)`` -- re-attach shared-memory artifacts another
+  replica published, so a failover read serves warm instead of rebuilding.
+* ``("ping", seq)`` -- heartbeat: replies immediately *after* any pending
+  flush, so a worker stuck in a long kernel call misses its deadline and
+  the parent's health monitor sees it.
+* ``("wedge", seq, seconds)`` -- fault injection: block the message loop
+  for ``seconds`` (a hang without a crash), which is how the health
+  monitor's suspect -> dead ladder is exercised deterministically.
 * ``("metrics", seq)`` / ``("shutdown", seq)`` -- snapshot / clean exit.
 
 Replies are ``("reply", seq, ok, payload)`` with ``payload`` a
@@ -37,6 +48,7 @@ from __future__ import annotations
 
 import pickle
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
@@ -332,9 +344,28 @@ def worker_main(conn, config: WorkerConfig) -> None:
             if tag == "register":
                 _, _, key, graph, specs = message
                 service.register(graph, name=key)
+                adopted = 0
                 if specs:
-                    adopt_shared_artifacts(service, store, list(specs), published)
-                reply(seq, True, key)
+                    adopted = adopt_shared_artifacts(
+                        service, store, list(specs), published
+                    )
+                reply(seq, True, adopted)
+            elif tag == "unregister":
+                _, _, key = message
+                if builder is not None:
+                    builder.drain()
+                service.registry.unregister(key)
+                reply(seq, True, None)
+            elif tag == "adopt":
+                _, _, specs = message
+                adopted = adopt_shared_artifacts(service, store, list(specs), published)
+                reply(seq, True, adopted)
+            elif tag == "ping":
+                reply(seq, True, None)
+            elif tag == "wedge":
+                _, _, seconds = message
+                time.sleep(float(seconds))
+                reply(seq, True, None)
             elif tag == "mutate":
                 _, _, key, op, u, v, weight = message
                 if builder is not None:

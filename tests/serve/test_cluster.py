@@ -17,12 +17,14 @@ from repro.graphs import generators
 from repro.serve import (
     ClusterService,
     HashRing,
+    HealthPolicy,
     LaplacianService,
     TrafficConfig,
     WorkerConfig,
     WorkerCrashedError,
     compare_answers,
     generate_trace,
+    resistance_query,
     run_trace,
 )
 
@@ -93,8 +95,51 @@ class TestHashRing:
         assert ring.nodes == ()
         with pytest.raises(ValueError):
             ring.owner("anything")
+        with pytest.raises(ValueError):
+            ring.owners("anything", 2)
         ring.add("solo")
         assert ring.owner("anything") == "solo"
+
+    def test_owners_are_distinct_and_prefixed_by_owner(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        for key in self.KEYS[:60]:
+            owners = ring.owners(key, 2)
+            assert owners[0] == ring.owner(key)
+            assert len(owners) == len(set(owners)) == 2
+        # asking for more replicas than nodes degrades to every node
+        assert set(ring.owners("key", 7)) == {"w0", "w1", "w2"}
+        with pytest.raises(ValueError):
+            ring.owners("key", 0)
+
+    def test_add_moves_a_bounded_fraction_of_replica_sets(self):
+        keys = [f"bulk-{i:05d}" for i in range(1000)]
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        before = {key: set(ring.owners(key, 2)) for key in keys}
+        ring.add("w4")
+        after = {key: set(ring.owners(key, 2)) for key in keys}
+        moved = sum(1 for key in keys if before[key] != after[key])
+        # a 5th node should attract ~2/5 of the (key, replica) slots, i.e.
+        # touch ~2/5 of the replica *sets*; allow generous slack over the
+        # expectation, but far below "rehash everything"
+        assert 0 < moved <= int(0.6 * len(keys))
+        for key in keys:
+            gained = after[key] - before[key]
+            assert gained <= {"w4"}, (
+                f"{key}: a node other than the new one took over: {gained}"
+            )
+
+    def test_remove_moves_a_bounded_fraction_of_replica_sets(self):
+        keys = [f"bulk-{i:05d}" for i in range(1000)]
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        before = {key: set(ring.owners(key, 2)) for key in keys}
+        ring.remove("w1")
+        after = {key: set(ring.owners(key, 2)) for key in keys}
+        moved = sum(1 for key in keys if before[key] != after[key])
+        # only keys that had w1 in their replica set may change
+        assert 0 < moved <= sum(1 for key in keys if "w1" in before[key])
+        for key in keys:
+            if "w1" not in before[key]:
+                assert after[key] == before[key]
 
 
 @pytest.mark.cluster
@@ -187,7 +232,9 @@ class TestCrashRecovery:
             cluster.close()
 
     def test_crash_without_respawn_fails_typed(self):
-        cluster = make_cluster(num_workers=2, respawn=False)
+        # replication_factor=1: with the default of 2 a replica would
+        # (correctly) keep serving and no typed error would surface
+        cluster = make_cluster(num_workers=2, respawn=False, replication_factor=1)
         try:
             key = cluster.register(make_graphs()[0], name="g0")
             victim = cluster.shard_of(key)
@@ -230,3 +277,153 @@ class TestShmLifecycle:
         cluster.close()
         leaked = [spec.segment for spec in specs if segment_exists(spec.segment)]
         assert leaked == []
+
+
+@pytest.mark.cluster
+class TestReplication:
+    def test_replica_sets_failover_and_lockstep_mutation(self):
+        cluster = make_cluster(num_workers=2)  # replication_factor defaults to 2
+        try:
+            key = cluster.register(make_graphs()[0], name="g0")
+            replicas = cluster.replicas_of(key)
+            assert len(set(replicas)) == 2
+            fingerprint = cluster._graphs[key].fingerprint
+            assert replicas == cluster.ring.owners(fingerprint, 2)
+            b = np.zeros(SIZES[0])
+            b[0], b[-1] = 1.0, -1.0
+            # mutate before the kill: the surviving replica must have seen it
+            cluster.mutate(key, "add", 0, 7, 1.5)
+            expected = cluster.solve(key, b).solution
+            cluster.kill_worker(cluster.shard_of(key))
+            # the replica serves the *post-mutation* graph during the respawn gap
+            got = cluster.solve(key, b).solution
+            np.testing.assert_allclose(got, expected, atol=1e-8)
+            assert cluster.wait_recovered(timeout=30.0)
+            metrics = cluster.metrics_snapshot()
+            assert metrics["replication_factor"] == 2
+            assert metrics["failures_total"] == 0
+        finally:
+            cluster.close()
+
+    def test_counters_stay_consistent_when_no_replica_is_up(self):
+        cluster = make_cluster(num_workers=2, respawn=False, replication_factor=1)
+        try:
+            key = cluster.register(make_graphs()[0], name="g0")
+            b = np.zeros(SIZES[0])
+            b[0], b[-1] = 1.0, -1.0
+            cluster.solve(key, b)
+            cluster.kill_worker(cluster.shard_of(key))
+            time.sleep(0.3)  # let the receiver thread observe the dead pipe
+            for _ in range(5):
+                with pytest.raises(WorkerCrashedError):
+                    cluster.solve(key, b)
+            metrics = cluster.metrics_snapshot()
+            # submissions that never reached a worker are neither queries nor
+            # failures: the failure rate can never exceed 1
+            assert metrics["queries_total"] == 1
+            assert metrics["failures_total"] == 0
+            assert metrics["failures_total"] <= metrics["queries_total"]
+        finally:
+            cluster.close()
+
+
+@pytest.mark.cluster
+class TestMembership:
+    def _many_graphs(self):
+        return [
+            generators.random_weighted_graph(16 + 2 * i, average_degree=4, seed=20 + i)
+            for i in range(6)
+        ]
+
+    def test_add_worker_moves_only_ring_keys_and_reattaches_shm(self):
+        cluster = make_cluster(num_workers=2, replication_factor=1)
+        try:
+            graphs = self._many_graphs()
+            keys = [cluster.register(g, name=f"m{i}") for i, g in enumerate(graphs)]
+            # warm a dense resistance oracle per graph so specs are published
+            for key in keys:
+                cluster.effective_resistance(key, 0, 1)
+            assert cluster._store.owned_specs(), "expected published shm artifacts"
+            before = {key: cluster.replicas_of(key) for key in keys}
+            moved = cluster.add_worker()
+            new_name = "worker-2"
+            assert new_name in cluster.ring.nodes
+            # exactly the keys whose ring placement changed were moved, and
+            # with rf=1 every moved key is now primaried on the new worker
+            for key in keys:
+                fingerprint = cluster._graphs[key].fingerprint
+                assert cluster.replicas_of(key) == cluster.ring.owners(
+                    fingerprint, cluster.replication_factor
+                )
+                assert (cluster.replicas_of(key) != before[key]) == (key in moved)
+            assert moved, "a third worker should attract some keys"
+            assert all(cluster.shard_of(key) == new_name for key in moved)
+            # the new worker re-attached the published oracle instead of
+            # rebuilding: its very first resistance query is a cache hit
+            result = cluster._submit_and_wait(resistance_query(moved[0], 0, 1))
+            assert result.cache_hit, "expected shm re-attach, not a rebuild"
+        finally:
+            cluster.close()
+
+    def test_remove_worker_drains_and_rehomes_its_keys(self):
+        cluster = make_cluster(num_workers=3)
+        try:
+            graphs = self._many_graphs()
+            keys = [cluster.register(g, name=f"m{i}") for i, g in enumerate(graphs)]
+            victim = cluster.shard_of(keys[0])
+            moved = cluster.remove_worker(victim, drain=True)
+            assert victim not in cluster.ring.nodes
+            assert keys[0] in moved
+            b = None
+            for key, graph in zip(keys, graphs):
+                assert victim not in cluster.replicas_of(key)
+                fingerprint = cluster._graphs[key].fingerprint
+                assert cluster.replicas_of(key) == cluster.ring.owners(
+                    fingerprint, cluster.replication_factor
+                )
+                b = np.zeros(graph.n)
+                b[0], b[-1] = 1.0, -1.0
+                assert cluster.solve(key, b).solution.shape == (graph.n,)
+            remaining = list(cluster.ring.nodes)
+            cluster.remove_worker(remaining[0], drain=True)
+            with pytest.raises(ValueError):
+                cluster.remove_worker(remaining[1], drain=True)
+        finally:
+            cluster.close()
+
+    def test_removing_unknown_or_last_worker_raises(self):
+        cluster = make_cluster(num_workers=1, replication_factor=1)
+        try:
+            with pytest.raises(KeyError):
+                cluster.remove_worker("nope")
+            with pytest.raises(ValueError):
+                cluster.remove_worker("worker-0")
+        finally:
+            cluster.close()
+
+
+@pytest.mark.cluster
+class TestControlTimeout:
+    def test_wedged_worker_is_killed_not_leaked(self):
+        cluster = make_cluster(
+            num_workers=2,
+            replication_factor=1,
+            control_timeout_seconds=1.0,
+            health=HealthPolicy(enabled=False),
+        )
+        try:
+            key = cluster.register(make_graphs()[0], name="g0")
+            victim = cluster.shard_of(key)
+            pid_before = cluster._workers[victim].process.pid
+            cluster.wedge_worker(victim, 8.0)
+            # the control round-trip times out at 1s and *kills* the wedged
+            # process instead of leaving it alive owning the shard
+            with pytest.raises(WorkerCrashedError):
+                cluster.mutate(key, "add", 0, 7, 1.5)
+            assert cluster.wait_recovered(timeout=30.0)
+            assert cluster._workers[victim].process.pid != pid_before
+            b = np.zeros(SIZES[0])
+            b[0], b[-1] = 1.0, -1.0
+            assert cluster.solve(key, b).solution.shape == (SIZES[0],)
+        finally:
+            cluster.close()

@@ -46,7 +46,9 @@ class TestFaultRuleValidation:
 
     def test_every_documented_op_constructs(self):
         for op in FAULT_OPS:
-            FaultRule(op=op)
+            # a zero-second wedge is meaningless: the op requires a duration
+            kwargs = {"delay_seconds": 0.5} if op == "worker_wedge" else {}
+            FaultRule(op=op, **kwargs)
 
 
 class TestSelectorsAndCaps:

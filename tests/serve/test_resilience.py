@@ -11,6 +11,7 @@ from repro.serve import (
     ArtifactBreakerOpenError,
     CircuitBreaker,
     DeadlineExceededError,
+    DrainRateTracker,
     FaultInjectionError,
     FaultPlan,
     FaultRule,
@@ -21,6 +22,7 @@ from repro.serve import (
     TransientFaultError,
     UnknownGraphError,
     call_with_retries,
+    estimate_retry_after,
     gram_query,
     solve_query,
 )
@@ -548,3 +550,31 @@ class TestFailureMetrics:
         service.arm_faults(None)
         report = service.solve(key, rng.normal(size=graph.n))
         assert np.all(np.isfinite(report.solution))
+
+
+class TestRetryAfterEstimation:
+    def test_tracker_needs_two_observations_for_a_rate(self):
+        tracker = DrainRateTracker()
+        assert tracker.rate(now=10.0) is None
+        tracker.observe(count=4, now=10.0)
+        assert tracker.rate(now=10.0) is None  # single point: no span yet
+        tracker.observe(count=4, now=12.0)
+        # 4 drains (the second batch) over a 2 second span
+        assert tracker.rate(now=12.0) == pytest.approx(2.0)
+
+    def test_tracker_window_slides(self):
+        tracker = DrainRateTracker(window=4)
+        for i in range(10):
+            tracker.observe(count=1, now=float(i))
+        # only the last 4 observations (t=6..9) remain: 3 drains over 3s
+        assert tracker.rate(now=9.0) == pytest.approx(1.0)
+
+    def test_estimate_falls_back_without_a_rate(self):
+        assert estimate_retry_after(5, None) == pytest.approx(0.05)
+        assert estimate_retry_after(5, 0.0) == pytest.approx(0.05)
+        assert estimate_retry_after(5, -1.0) == pytest.approx(0.05)
+
+    def test_estimate_tracks_depth_over_drain_rate_with_clamps(self):
+        assert estimate_retry_after(10, 100.0) == pytest.approx(0.1)
+        assert estimate_retry_after(1, 1e6) == pytest.approx(0.001)  # floor
+        assert estimate_retry_after(1000, 0.1) == pytest.approx(5.0)  # ceiling

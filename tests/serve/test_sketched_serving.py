@@ -211,6 +211,25 @@ class TestAdmissionControl:
         # queue drained: submissions are admitted again
         assert np.isfinite(service.effective_resistance(key, 7, 8))
 
+    def test_shed_carries_retry_after_hint(self, graph):
+        service = make_service(flush_policy=FlushPolicy(max_pending=2))
+        key = service.register(graph)
+        service.submit(resistance_query(key, 0, 1))
+        service.submit(resistance_query(key, 1, 2))
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            service.submit(resistance_query(key, 2, 3))
+        # no drain observed yet: the hint is the conservative default, but
+        # it is always present and positive on an admission-control shed
+        assert excinfo.value.retry_after_seconds is not None
+        assert excinfo.value.retry_after_seconds > 0
+        service.flush()
+        service.submit(resistance_query(key, 3, 4))
+        service.submit(resistance_query(key, 4, 5))
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            service.submit(resistance_query(key, 5, 6))
+        assert excinfo.value.retry_after_seconds > 0
+        service.flush()
+
     def test_rejected_count_accumulates(self, graph):
         service = make_service(flush_policy=FlushPolicy(max_pending=1))
         key = service.register(graph)
