@@ -34,6 +34,16 @@ measurements to a ``BENCH_serve.json`` trajectory at the repo root:
   cache and times the same queries cold; repaired and rebuilt resistance
   answers must agree to 1e-8, and the floor asserted on grid-100x100
   (``n = 10^4``) is a 10x repair win -- the ISSUE 5 acceptance criterion.
+* **sustained mutate/query stream** -- an interleaved stream of queries and
+  add/reweight/remove mutations against the lazily-repairing warm service:
+  per-tick latencies of a mutation-free phase vs a phase with a mutation
+  every third tick.  Because repair is deferred to first lookup and costs a
+  handful of rank-1 updates, tail latency must not cliff on a mutation: the
+  ceiling asserted on grid-100x100 (the ROADMAP sketch-workload target) is
+  ``p99(mutation phase) <= 5x p99(clean phase)``, with end-of-stream answers
+  agreeing with a fresh-rebuild reference to 1e-8 and the cache stats proving
+  the stream was served by repairs alone -- the ISSUE 10 acceptance
+  criterion.
 
 Workloads cover the scenario spread: random weighted graphs at
 ``n in {512, 2000}``, a Barabasi-Albert power-law graph, a Watts-Strogatz
@@ -96,6 +106,18 @@ RESILIENCE_ROUNDS = 3
 
 #: repaired and rebuilt answers must agree to this on the exact path
 MUTATION_AGREEMENT_ATOL = 1e-8
+
+#: ticks per phase of the sustained mutate/query stream measurement
+STREAM_TICKS = 60
+
+#: one mutation lands every this-many ticks of the stream's mutation phase
+STREAM_MUTATE_EVERY = 3
+
+#: resistance pairs per stream tick
+STREAM_PAIRS = 64
+
+#: asserted ceiling: p99 tick latency under sustained mutation vs clean
+STREAM_CLIFF_CEILING = 5.0
 
 #: pairs in the post-mutation resistance probe
 MUTATION_PAIRS = 32
@@ -257,6 +279,105 @@ def _measure_mutation(service, key, graph, mode):
     return stats
 
 
+def _measure_mutation_stream(service, key, graph, mode):
+    """Sustained interleaved mutate/query stream: tail latency must not cliff.
+
+    Two equal phases of identical resistance-serving ticks (an exact batch,
+    plus a sketched batch in sketch modes): a mutation-free baseline, then a
+    phase where every :data:`STREAM_MUTATE_EVERY`-th tick is preceded by a
+    mutation (rotating add / reweight / removal; removals take back edges the
+    stream itself added, so they never split a component).  Ticks do not
+    solve: the solver preprocessing's kappa-preserving repair is
+    insertion-only by design (a weight decrease can break the sparsifier's
+    spectral sandwich), so a solve-after-removal pays a documented rebuild --
+    and under lazy repair a stream that never solves never pays it, which is
+    exactly the property this measurement pins down on the resistance plane
+    where removals ARE repairable end to end.
+    With lazy repair each mutation's cost is a few rank-1 updates paid by the
+    next lookup, so the mutation phase's p99 tick latency stays within
+    :data:`STREAM_CLIFF_CEILING` of the clean phase's -- the rebuild world
+    would pay cold construction (100-1000x a tick) on every mutation.  Ends
+    with a fresh-rebuild reference agreement check at 1e-8 on the exact path.
+    """
+    rng = np.random.default_rng(46)
+    added = []
+
+    def pick_pairs():
+        return [
+            (int(u), int(v))
+            for u, v in zip(
+                rng.integers(0, graph.n, STREAM_PAIRS),
+                rng.integers(0, graph.n, STREAM_PAIRS),
+            )
+        ]
+
+    def tick():
+        pairs = pick_pairs()
+        service.effective_resistances(key, pairs)
+        if mode != "standard":
+            service.effective_resistances(key, pairs, eta=ETA_SWEEP[0])
+
+    def mutate(step):
+        op = ("add", "update", "remove")[step % 3]
+        if op == "remove" and added:
+            u, v = added.pop()
+            graph.remove_edge(u, v)
+        elif op == "update":
+            edges = graph.edge_list()
+            u, v, w = edges[int(rng.integers(0, len(edges)))]
+            graph.add_edge(u, v, w + float(rng.uniform(0.1, 1.0)))
+        else:
+            while True:
+                u, v = (int(x) for x in rng.integers(0, graph.n, 2))
+                if u != v and not graph.has_edge(u, v):
+                    break
+            graph.add_edge(u, v, float(rng.uniform(0.5, 2.0)))
+            added.append((u, v))
+
+    def phase(mutating):
+        latencies = []
+        mutations = 0
+        for step in range(STREAM_TICKS):
+            if mutating and step % STREAM_MUTATE_EVERY == 0:
+                mutate(mutations)
+                mutations += 1
+            _, seconds = _timed(tick)
+            latencies.append(seconds)
+        return np.asarray(latencies), mutations
+
+    tick()  # warm every artifact the ticks touch before timing anything
+    clean, _ = phase(mutating=False)
+    repairs_before = service.cache.stats.repairs
+    misses_before = service.cache.stats.misses
+    stream, mutations = phase(mutating=True)
+    repairs = service.cache.stats.repairs - repairs_before
+    rebuilds = service.cache.stats.misses - misses_before
+
+    # end-of-stream differential check: the lazily repaired service must
+    # agree with a from-scratch reference on the final graph, inf included
+    probe = pick_pairs()
+    got = np.asarray(service.effective_resistances(key, probe))
+    reference = LaplacianService(t_override=T_OVERRIDE, auto_flush=False, repair=False)
+    ref_key = reference.register(graph)
+    want = np.asarray(reference.effective_resistances(ref_key, probe))
+    reference.close()
+    agreement = float(np.abs(got - want).max())
+    np.testing.assert_allclose(got, want, rtol=0, atol=MUTATION_AGREEMENT_ATOL)
+
+    clean_p99 = float(np.percentile(clean, 99))
+    stream_p99 = float(np.percentile(stream, 99))
+    return {
+        "stream_ticks": int(STREAM_TICKS),
+        "stream_mutations": mutations,
+        "stream_clean_p99_ms": round(clean_p99 * 1000, 3),
+        "stream_mutation_p99_ms": round(stream_p99 * 1000, 3),
+        "stream_cliff_ratio": round(stream_p99 / max(clean_p99, 1e-12), 2),
+        "stream_repairs": repairs,
+        "stream_rebuilds": rebuilds,
+        "stream_agreement": agreement,
+    }
+
+
 def _measure_resilience(graph_factory):
     """Warm-workload cost of serving under a 1% transient build-failure rate.
 
@@ -318,7 +439,13 @@ def _measure_resilience(graph_factory):
     }
 
 
-def run_case(name: str, graph, warm_queries: int = WARM_QUERIES, mode: str = "standard") -> dict:
+def run_case(
+    name: str,
+    graph,
+    warm_queries: int = WARM_QUERIES,
+    mode: str = "standard",
+    stream: bool = False,
+) -> dict:
     """Serve one workload; return cold/warm/batched throughput measurements."""
     cache = ArtifactCache(max_bytes=SKETCH_CACHE_BYTES) if mode != "standard" else None
     service = LaplacianService(t_override=T_OVERRIDE, auto_flush=False, cache=cache)
@@ -379,6 +506,13 @@ def run_case(name: str, graph, warm_queries: int = WARM_QUERIES, mode: str = "st
     # mutate last: the repair measurement wants the warm stack (and clears
     # the cache for its rebuild baseline, which would skew the stats above)
     stats.update(_measure_mutation(service, key, graph, mode))
+    # the stream runs after: its rebuild baseline left the stack freshly
+    # rebuilt, so the stream's 20 mutations get a sketch with full
+    # eta_effective headroom (running it first would hand _measure_mutation
+    # a sketch already at the accuracy boundary, turning its repair into a
+    # legitimate-but-floor-breaking rebuild)
+    if stream:
+        stats.update(_measure_mutation_stream(service, key, graph, mode))
     service.close()
     return stats
 
@@ -442,6 +576,13 @@ def _print_case(stats):
             f"rebuild {stats['mutation_rebuild_seconds']:.3f}s, "
             f"{stats['mutation_speedup']:.0f}x]"
         )
+    if "stream_cliff_ratio" in stats:
+        parts.append(
+            f"[stream: {stats['stream_mutations']} mutations over "
+            f"{stats['stream_ticks']} ticks, p99 {stats['stream_mutation_p99_ms']:.1f}ms "
+            f"vs clean {stats['stream_clean_p99_ms']:.1f}ms "
+            f"({stats['stream_cliff_ratio']:.2f}x), {stats['stream_repairs']} repairs]"
+        )
     if "resilience_slowdown" in stats:
         parts.append(
             f"[{stats['resilience_fault_rate']:.0%} fault rate: "
@@ -455,7 +596,7 @@ def main():
     cases = []
     for name, factory, mode in make_workloads():
         graph = factory()
-        stats = run_case(name, graph, mode=mode)
+        stats = run_case(name, graph, mode=mode, stream=name == "grid-100x100")
         if name == "grid-100x100":
             stats.update(_measure_resilience(factory))
         cases.append(stats)
@@ -489,6 +630,17 @@ def main():
             f"FAIL: warm workload under {RESILIENCE_FAULT_RATE:.0%} injected "
             f"build-failure rate is {grid['resilience_slowdown']}x fault-free, "
             f"above the {RESILIENCE_SLOWDOWN_CEILING}x ceiling on grid-100x100"
+        )
+    if grid["stream_cliff_ratio"] > STREAM_CLIFF_CEILING:
+        raise SystemExit(
+            f"FAIL: grid-100x100 p99 tick latency under sustained mutation is "
+            f"{grid['stream_cliff_ratio']}x the mutation-free p99, above the "
+            f"{STREAM_CLIFF_CEILING}x no-cliff ceiling"
+        )
+    if grid["stream_repairs"] == 0 or grid["stream_rebuilds"] != 0:
+        raise SystemExit(
+            f"FAIL: grid-100x100 mutation stream was not served by repairs alone "
+            f"({grid['stream_repairs']} repairs, {grid['stream_rebuilds']} rebuilds)"
         )
     if grid["resilience_failures"] != 0:
         raise SystemExit(

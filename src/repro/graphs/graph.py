@@ -291,12 +291,30 @@ class WeightedGraph:
         :data:`JOURNAL_LIMIT` records; bulk :meth:`add_edges` calls larger
         than the window drop it entirely) no longer reaches back that far.
         ``None`` means "rebuild", never "no change".
+
+        The answer is complete-or-``None`` even when mutators run on another
+        thread (the serving tier reads deltas on its flush thread while user
+        threads keep mutating): the journal deque is snapshotted in one
+        C-level copy *before* the floor/version checks, and
+        :meth:`_journal_append` raises the floor *before* popping the record
+        it evicts.  Any record that overflows out of the window concurrently
+        with this call therefore either survives in the snapshot or has
+        already raised the floor past ``version`` -- a truncated delta is
+        never returned for mixed ``add_edges``/``remove_edge`` traffic that
+        overruns the window mid-read.
         """
+        # Snapshot first: list(deque) is a single C-level copy, atomic under
+        # the GIL, and immune to "deque mutated during iteration" from a
+        # concurrent _journal_append.
+        records = list(self._journal)
+        # Check the floor *after* the snapshot: an overflow that dropped a
+        # needed record before the copy ran has already raised the floor, so
+        # the stale request falls through to the rebuild path.
         if version > self._version:
             return None
         if version < self._journal_floor:
             return None
-        return [record for record in self._journal if record.version > version]
+        return [record for record in records if record.version > version]
 
     def vertices(self) -> range:
         """Iterable over vertex identifiers."""
@@ -481,9 +499,13 @@ class WeightedGraph:
     def _journal_append(self, record: MutationRecord) -> None:
         if len(self._journal) >= JOURNAL_LIMIT:
             # the oldest record falls off the window: deltas starting before
-            # the *post*-state of that record are no longer reconstructible
-            dropped = self._journal.popleft()
-            self._journal_floor = dropped.version
+            # the *post*-state of that record are no longer reconstructible.
+            # Raise the floor BEFORE popping -- a concurrent delta_since that
+            # snapshots the deque between the two steps must already see the
+            # floor above the record it is about to lose, so it returns None
+            # instead of a truncated delta.
+            self._journal_floor = self._journal[0].version
+            self._journal.popleft()
         self._journal.append(record)
 
 

@@ -39,6 +39,7 @@ import scipy.sparse as sp
 import math
 
 from repro.linalg.jl import (
+    kane_nelson_built_columns,
     kane_nelson_column,
     kane_nelson_random_bits,
     kane_nelson_sketch,
@@ -128,6 +129,19 @@ class SketchedResistanceOracle:
         self._ambient = m
         self._built_m = m
         self.appended = 0
+        self.reweighted = 0
+        self.removed = 0
+        # Per-edge sketch-column identity: a built edge owns the column at its
+        # position in canonical (sorted) edge order, re-derivable from
+        # (seed_bits, index) alone; an appended edge owns the fresh column
+        # append_edge drew for it.  This is what turns a reweight/removal into
+        # a rank-1 repair (subtract the old column contribution, add the new)
+        # instead of a k-solve rebuild.  Kept as one int64 key array plus a
+        # retirement mask (8+1 bytes/edge) rather than a dict (~100x that).
+        u_arr, v_arr, _ = graph.edge_array()
+        self._built_keys = u_arr.astype(np.int64) * self.n + v_arr.astype(np.int64)
+        self._built_retired = np.zeros(m, dtype=bool)
+        self._appended_cols = {}
         if self.exact:
             # the identity sketch promises *exact* answers, and a tight eta
             # (below float32 rounding) can only reach this branch: store in
@@ -180,6 +194,16 @@ class SketchedResistanceOracle:
         promised a client ``eta`` must check this value, not ``eta``, after
         repairs (``inf`` in the pathological case where no bound below 1 is
         honoured any more).
+
+        Mixed-traffic contract: only *insertions* widen the bound.  A
+        reweight or removal absorbed by :meth:`repair_edge` reproduces, to
+        rounding, the sketch the same ``seed_bits`` would have assigned the
+        surviving edges' columns, introducing no new randomness -- the
+        union bound the build sized ``k`` for was over a superset of the
+        surviving columns, so the per-pair guarantee is preserved and
+        ``eta_effective`` is unchanged.  A removed edge that is later
+        re-added counts as an insertion (it gets a fresh appended column,
+        the retired one stays in the ambient count).
         """
         if self.exact:
             return 0.0
@@ -190,7 +214,7 @@ class SketchedResistanceOracle:
             return float("inf")
         return max(self.eta, widened)
 
-    def append_edge(self, u: int, v: int, weight: float, solver) -> bool:
+    def append_edge(self, u: int, v: int, weight: float, solver=None, z=None) -> bool:
         """Repair the oracle in place for the *insertion* of edge ``{u, v}``.
 
         The mutated graph's embedding differs from the stored one by two
@@ -211,10 +235,11 @@ class SketchedResistanceOracle:
         (identity-sketch) mode a new exact column is appended instead and the
         oracle stays exact.  Returns ``False`` (oracle unchanged) for
         cross-component insertions, which change the component structure the
-        stored labels encode.  Reweights and removals are not repairable
-        here -- the sketch column of an existing edge is not recoverable --
-        and must rebuild.  Not thread-safe against concurrent queries; the
-        serving layer serialises repairs behind its execute lock.
+        stored labels encode.  Reweights and removals of *existing* edges go
+        through :meth:`repair_edge`, which re-derives the edge's column from
+        its recorded ``(seed_bits, ambient index)`` identity.  Not
+        thread-safe against concurrent queries; the serving layer serialises
+        repairs behind its execute lock.
         """
         if not (0 <= u < self.n and 0 <= v < self.n):
             raise ValueError(f"edge endpoints out of range [0, {self.n})")
@@ -232,10 +257,16 @@ class SketchedResistanceOracle:
             return False
         if self._labels[u] != self._labels[v]:
             return False
-        chi = np.zeros(self.n)
-        chi[u] = 1.0
-        chi[v] = -1.0
-        z = solver.solve(chi)
+        if z is None:
+            # ``z`` may instead be passed directly: the serving layer reuses
+            # the post-record solve its RepairableGroundedSolver recorded for
+            # this same mutation (update_log), skipping the solve here.  Any
+            # per-component constant shift between the two is harmless -- the
+            # oracle only ever reads row *differences* of the embedding.
+            chi = np.zeros(self.n)
+            chi[u] = 1.0
+            chi[v] = -1.0
+            z = solver.solve(chi)
         duv = (self._embedding[u] - self._embedding[v]).astype(np.float64, copy=False)
         sqrt_w = math.sqrt(weight)
         if self.exact:
@@ -256,8 +287,132 @@ class SketchedResistanceOracle:
             for start in range(0, self.n, block):
                 stop = min(self.n, start + block)
                 self._embedding[start:stop] += np.outer(zcol[start:stop], row)
+        if self._appended_cols is not None:
+            # the fresh column's contribution entered as +sqrt(w) (e_u - e_v)
+            # in *call* order; record its sign relative to the canonical
+            # (min, max) orientation so repair_edge subtracts what was added
+            self._appended_cols[(min(u, v), max(u, v))] = (
+                self._ambient,
+                1.0 if u < v else -1.0,
+            )
         self._ambient += 1
         self.appended += 1
+        return True
+
+    def _column_identity(self, u: int, v: int):
+        """``(ambient index, sign)`` of the live column owned by edge ``{u, v}``.
+
+        The sign is the orientation of the column's contribution to the
+        sketched incidence relative to ``e_min - e_max``: built columns enter
+        through :func:`incidence_csr` (larger endpoint ``+1``) as ``-1``,
+        appended columns carry the sign :meth:`append_edge` recorded.
+        Returns ``None`` when the edge owns no recoverable column (removed,
+        never known, or the identity map was not shipped -- shared-memory
+        attached oracles serve queries only).
+        """
+        if self._appended_cols is None or self._built_keys is None:
+            return None
+        key = (min(u, v), max(u, v))
+        appended = self._appended_cols.get(key)
+        if appended is not None:
+            return appended
+        packed = key[0] * self.n + key[1]
+        pos = int(np.searchsorted(self._built_keys, packed))
+        if pos >= self._built_keys.size or self._built_keys[pos] != packed:
+            return None
+        if self._built_retired[pos]:
+            return None
+        return pos, -1.0
+
+    def repair_edge(self, u, v, old_weight, new_weight, solver=None, z=None) -> bool:
+        """Repair the oracle in place for a *reweight or removal* of ``{u, v}``.
+
+        The edge keeps (reweight) or retires (removal, ``new_weight == 0``)
+        the sketch column it owns; both corrections are rank-1 terms sharing
+        the left factor ``z = L_new^+ (e_min - e_max)``:
+
+        * the pseudoinverse moved: ``E -= delta z (E[min] - E[max])^T`` with
+          ``delta = w_new - w_old`` (Sherman-Morrison through the stored
+          embedding);
+        * the edge's incidence row was rescaled: ``E += sigma (sqrt(w_new) -
+          sqrt(w_old)) z q^T`` where ``q`` is the edge's own Kane-Nelson
+          column re-derived from ``(seed_bits, ambient index)`` --
+          :func:`kane_nelson_built_columns` for built edges,
+          :func:`kane_nelson_column` for appended ones, the identity column
+          in exact mode.
+
+        The result equals (to rounding) the same-seed sketch of the mutated
+        graph over the surviving columns, so :attr:`eta_effective` does not
+        widen (see its docstring for the mixed-traffic contract).
+
+        ``solver`` must be a grounded solver already reflecting the *mutated*
+        graph; alternatively the caller passes the post-record solve ``z``
+        directly (the serving layer reuses the one its
+        :class:`~repro.linalg.sparse_backend.RepairableGroundedSolver`
+        recorded for the same mutation).  Bridge removals are NOT repairable
+        here -- ``e_min - e_max`` is inconsistent across the split, so the
+        caller must drop the oracle when the grounded repair re-grounded a
+        component.  Returns ``False`` (oracle unchanged) when the edge's
+        column identity is unknown or the embedding is a read-only
+        shared-memory view.
+        """
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge endpoints out of range [0, {self.n})")
+        if u == v:
+            raise ValueError(f"self-loops are not allowed: ({u}, {v})")
+        old_weight = float(old_weight)
+        new_weight = float(new_weight)
+        if old_weight <= 0:
+            raise ValueError(f"previous weight must be positive, got {old_weight}")
+        if new_weight < 0:
+            raise ValueError(f"new weight must be >= 0, got {new_weight}")
+        if z is None and solver is None:
+            raise ValueError("repair_edge needs a mutated-graph solver or its solve z")
+        if not self._embedding.flags.writeable:
+            # shared-memory backed view (exact or sketched): other processes
+            # serve from it concurrently, refuse the in-place repair
+            return False
+        if self._labels[u] != self._labels[v]:
+            return False
+        if new_weight == old_weight:
+            return True
+        identity = self._column_identity(u, v)
+        if identity is None:
+            return False
+        index, sigma = identity
+        lo, hi = min(u, v), max(u, v)
+        if z is None:
+            chi = np.zeros(self.n)
+            chi[lo] = 1.0
+            chi[hi] = -1.0
+            z = solver.solve(chi)
+        delta = new_weight - old_weight
+        scale = sigma * (math.sqrt(new_weight) - math.sqrt(old_weight))
+        duv = (self._embedding[lo] - self._embedding[hi]).astype(np.float64, copy=False)
+        if self.exact:
+            q = np.zeros(self.k)
+            q[index] = 1.0
+        elif index < self._built_m:
+            q = kane_nelson_built_columns(
+                self.k, self._built_m, self.seed_bits, [index]
+            )[:, 0]
+        else:
+            q = kane_nelson_column(self.k, self.seed_bits, index)
+        row = (scale * q - delta * duv).astype(self._embedding.dtype)
+        zcol = np.asarray(z, dtype=self._embedding.dtype)
+        block = 8192
+        for start in range(0, self.n, block):
+            stop = min(self.n, start + block)
+            self._embedding[start:stop] += np.outer(zcol[start:stop], row)
+        if new_weight == 0.0:
+            key = (lo, hi)
+            if key in self._appended_cols:
+                del self._appended_cols[key]
+            else:
+                self._built_retired[index] = True
+            self.removed += 1
+        else:
+            self.reweighted += 1
         return True
 
     def pair_resistances(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
@@ -301,6 +456,8 @@ class SketchedResistanceOracle:
             "ambient": int(self._ambient),
             "built_m": int(self._built_m),
             "appended": int(self.appended),
+            "reweighted": int(self.reweighted),
+            "removed": int(self.removed),
             "random_bits": int(self.random_bits),
             "seed_bits": int(self.seed_bits),
         }
@@ -323,15 +480,25 @@ class SketchedResistanceOracle:
         oracle._ambient = int(meta["ambient"])
         oracle._built_m = int(meta["built_m"])
         oracle.appended = int(meta["appended"])
+        oracle.reweighted = int(meta.get("reweighted", 0))
+        oracle.removed = int(meta.get("removed", 0))
         oracle.random_bits = int(meta["random_bits"])
         oracle.seed_bits = int(meta["seed_bits"])
         oracle._embedding = arrays["embedding"]
         oracle._labels = arrays["labels"]
+        # column-identity map not shipped: an attached oracle serves queries
+        # only (repairs are refused on the read-only view anyway)
+        oracle._built_keys = None
+        oracle._built_retired = None
+        oracle._appended_cols = None
         return oracle
 
     def nbytes(self) -> int:
         """Resident size for cache accounting (the embedding dominates)."""
-        return int(self._embedding.nbytes + self._labels.nbytes)
+        total = int(self._embedding.nbytes + self._labels.nbytes)
+        if self._built_keys is not None:
+            total += int(self._built_keys.nbytes + self._built_retired.nbytes)
+        return total
 
     def __repr__(self) -> str:
         return (

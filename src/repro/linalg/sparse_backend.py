@@ -355,12 +355,38 @@ class _RankOneUpdate:
     delta: float  # weight change on the Laplacian
     z: np.ndarray  # (inverse after previous updates) @ chi
     denom: float  # 1 + delta * chi^T z
+    u: int = -1  # global endpoint ids (kept for the repair log)
+    v: int = -1
+    split: bool = False  # True when this removal re-grounded a split
 
     def chi_dot(self, X: np.ndarray) -> np.ndarray:
         """``chi^T X`` for a ``(k,)`` vector or ``(k, j)`` block."""
         xu = X[self.pu] if self.pu >= 0 else 0.0
         xv = X[self.pv] if self.pv >= 0 else 0.0
         return xu - xv
+
+
+@dataclass
+class _IndicatorUpdate:
+    """Rank-1 regulariser ``A += rho kappa kappa^T`` over an index set.
+
+    ``kappa`` is the (reduced-coordinate) indicator of a freshly split-off
+    component that has no grounded vertex of its own: adding ``rho kappa
+    kappa^T`` before the bridge-removal correction keeps the composed system
+    invertible and pins the new component's solutions to mean zero over
+    ``idx`` -- exactly the normalisation the per-component re-centring
+    expects.  Never exposed in the repair log (it is the *grounding* half of
+    a split removal, not an edge mutation).
+    """
+
+    idx: np.ndarray  # reduced positions of the ungrounded side, all >= 0
+    delta: float  # rho > 0
+    z: np.ndarray  # (inverse after previous updates) @ kappa
+    denom: float  # 1 + rho * kappa^T z
+
+    def chi_dot(self, X: np.ndarray) -> np.ndarray:
+        """``kappa^T X`` for a ``(k,)`` vector or ``(k, j)`` block."""
+        return X[self.idx].sum(axis=0)
 
 
 class RepairableGroundedSolver(GroundedLaplacianSolver):
@@ -387,9 +413,25 @@ class RepairableGroundedSolver(GroundedLaplacianSolver):
       changing the grounding structure);
     * the denominator falls below :data:`REPAIR_DENOM_TOL` (a removed edge is
       a bridge -- removal disconnects -- or the update is too ill-conditioned
-      to stay within the accuracy contract);
+      to stay within the accuracy contract) *and* the caller did not supply
+      ``split_side`` -- with it, a genuine bridge removal is absorbed by
+      re-grounding the split-off component (see below) instead of refusing;
     * the accumulated-update budget ``max_updates`` (default
-      :func:`default_update_budget`, ``O(sqrt(n))``) is exhausted.
+      :func:`default_update_budget`, ``O(sqrt(n))``) is exhausted (a split
+      removal consumes two slots).
+
+    **Component-split re-grounding.**  Removing a bridge ``{u, v}`` splits
+    its component in two; the side that loses the original grounded vertex
+    leaves the reduced system singular, which is exactly what the
+    ``denom -> 0`` guard detects.  Given ``split_side`` (the vertex set of
+    one side of the split, e.g. a BFS from ``v`` in the post-removal graph),
+    the solver first adds a rank-1 regulariser ``rho kappa kappa^T`` over the
+    ungrounded side's indicator ``kappa`` -- an implicit new ground pinning
+    that side to mean zero -- and then applies the removal's Sherman-Morrison
+    correction against the regularised (invertible) system.  Both corrections
+    ride the same ``_reduced_solve`` seam; ``self._components`` and the
+    cached component labels are updated so pair queries across the split
+    correctly report ``inf``.
 
     A refused update leaves the solver exactly as it was.  The solver is not
     thread-safe during :meth:`apply_update`; the serving layer serialises
@@ -413,16 +455,23 @@ class RepairableGroundedSolver(GroundedLaplacianSolver):
         """Updates left before :meth:`apply_update` starts refusing."""
         return max(0, self.max_updates - len(self._updates))
 
-    def apply_update(self, u: int, v: int, delta: float) -> bool:
+    def apply_update(self, u: int, v: int, delta: float, split_side=None) -> bool:
         """Absorb ``L += delta (e_u - e_v)(e_u - e_v)^T``; ``False`` = rebuild.
 
         ``delta`` is the *weight change* of the edge ``{u, v}``: the new
         weight for an insertion, ``w_new - w_old`` for a reweight, and
         ``-w_old`` for a removal.  A ``True`` return means every later solve
         reflects the mutated Laplacian; ``False`` means the mutation is not
-        rank-1-repairable here (cross-component edge, bridge removal,
-        ill-conditioned update, or budget exhausted) and the solver is
-        unchanged.
+        rank-1-repairable here (cross-component edge, bridge removal without
+        ``split_side``, ill-conditioned update, or budget exhausted) and the
+        solver is unchanged.
+
+        ``split_side`` (optional, removals only) is the vertex set of one
+        side of the split the removal causes -- e.g. the set reachable from
+        ``v`` in the post-removal graph.  When the conditioning guard fires
+        on a genuine bridge removal and ``split_side`` is given, the solver
+        re-grounds the split-off component and absorbs the removal anyway
+        (two update slots; see the class docstring).
         """
         if not (0 <= u < self.n and 0 <= v < self.n):
             raise ValueError(f"edge endpoints out of range [0, {self.n})")
@@ -447,10 +496,108 @@ class RepairableGroundedSolver(GroundedLaplacianSolver):
         z = self._reduced_solve(c)
         ctz = (z[pu] if pu >= 0 else 0.0) - (z[pv] if pv >= 0 else 0.0)
         denom = 1.0 + delta * ctz
-        if not denom > REPAIR_DENOM_TOL:
+        if denom > REPAIR_DENOM_TOL:
+            self._updates.append(
+                _RankOneUpdate(pu=pu, pv=pv, delta=delta, z=z, denom=denom, u=u, v=v)
+            )
+            return True
+        if delta < 0.0 and split_side is not None:
+            return self._apply_split_removal(u, v, delta, split_side)
+        return False
+
+    def _apply_split_removal(self, u: int, v: int, delta: float, split_side) -> bool:
+        """Bridge removal: re-ground the split-off side, then downdate.
+
+        ``A - w chi chi^T`` is singular (the side losing the old ground has a
+        fresh kernel vector: its indicator ``kappa``), so we first regularise
+        with ``rho kappa kappa^T`` -- Sherman-Morrison keeps it rank-1 -- and
+        then apply the removal against the now-invertible system.  Solutions
+        on the re-grounded side come out with ``kappa^T x = 0`` (mean zero),
+        which the per-component re-centring in :meth:`solve` already expects.
+        Updates ``self._components`` / component labels to the post-split
+        structure; consumes two update slots.
+        """
+        if self.max_updates - len(self._updates) < 2:
             return False
-        self._updates.append(_RankOneUpdate(pu=pu, pv=pv, delta=delta, z=z, denom=denom))
+        side = np.unique(np.asarray(list(split_side), dtype=np.int64))
+        if side.size == 0 or side.min() < 0 or side.max() >= self.n:
+            return False
+        labels = self.component_labels()
+        label = int(labels[u])
+        component = None
+        comp_index = -1
+        for i, comp in enumerate(self._components):
+            if labels[comp[0]] == label:
+                component, comp_index = comp, i
+                break
+        if component is None or side.size >= component.size:
+            return False
+        # split_side must be one side of the component and separate u from v
+        if not np.isin(side, component).all():
+            return False
+        in_side = np.zeros(self.n, dtype=bool)
+        in_side[side] = True
+        if in_side[u] == in_side[v]:
+            return False
+        other = component[~in_side[component]]
+        # the side that lost the original ground is the one with no -1 position
+        side_positions = self._position[side]
+        if (side_positions >= 0).all():
+            ungrounded, ungrounded_pos = side, side_positions
+        else:
+            ungrounded, ungrounded_pos = other, self._position[other]
+            if not (ungrounded_pos >= 0).all():
+                return False  # both sides grounded: not a single-component split
+        rho = abs(float(delta))
+        kappa = np.zeros(self._keep_idx.size)
+        kappa[ungrounded_pos] = 1.0
+        y = self._reduced_solve(kappa)
+        denom_ground = 1.0 + rho * float(y[ungrounded_pos].sum())
+        ground = _IndicatorUpdate(
+            idx=ungrounded_pos, delta=rho, z=y, denom=denom_ground
+        )
+        self._updates.append(ground)
+        pu, pv = int(self._position[u]), int(self._position[v])
+        c = np.zeros(self._keep_idx.size)
+        if pu >= 0:
+            c[pu] += 1.0
+        if pv >= 0:
+            c[pv] -= 1.0
+        z = self._reduced_solve(c)
+        ctz = (z[pu] if pu >= 0 else 0.0) - (z[pv] if pv >= 0 else 0.0)
+        denom = 1.0 + delta * ctz
+        if not denom > REPAIR_DENOM_TOL:
+            self._updates.pop()  # not actually (only) a bridge: leave unchanged
+            return False
+        self._updates.append(
+            _RankOneUpdate(
+                pu=pu, pv=pv, delta=delta, z=z, denom=denom, u=u, v=v, split=True
+            )
+        )
+        self._components[comp_index] = np.sort(other)
+        self._components.append(np.sort(side))
+        self._component_label = None  # labels changed: rebuild lazily
         return True
+
+    def update_log(self):
+        """Absorbed edge mutations, oldest first, for dependent repairs.
+
+        Each entry is ``(u, v, delta, z_after, split)`` where ``z_after`` is
+        the *post-record* solve ``A_r^{-1} (e_u - e_v)`` scattered to full
+        vertex coordinates (no re-centring) -- exactly the vector a dependent
+        rank-1 artifact repair (e.g. a sketched-oracle column update) needs
+        for the same record, without re-solving.  Grounding regularisers from
+        split removals are folded into their removal's ``split=True`` flag
+        rather than listed.
+        """
+        log = []
+        for update in self._updates:
+            if isinstance(update, _IndicatorUpdate):
+                continue
+            z_full = np.zeros(self.n)
+            z_full[self._keep_idx] = update.z / update.denom
+            log.append((update.u, update.v, update.delta, z_full, update.split))
+        return log
 
     def _reduced_solve(self, rhs: np.ndarray) -> np.ndarray:
         X = self._lu.solve(rhs)
@@ -536,9 +683,10 @@ class ResistanceOracle:
         batched triangular solves of a rebuild.  Returns ``False`` (oracle
         unchanged except for refusals being free) for cross-component pairs,
         a denominator below :data:`REPAIR_DENOM_TOL` (bridge removal /
-        ill-conditioning) or an exhausted ``O(sqrt(n))`` update budget.  The
-        serving layer additionally never routes *removals* here at all: a
-        delta containing a removal conservatively rebuilds the dense oracle.
+        ill-conditioning) or an exhausted ``O(sqrt(n))`` update budget.
+        Removals are routed here like any other weight change -- the
+        denominator guard is what refuses the bridge removals that would
+        split a component (the serving layer rebuilds the oracle for those).
         """
         if not (0 <= u < self.n and 0 <= v < self.n):
             raise ValueError(f"edge endpoints out of range [0, {self.n})")

@@ -36,6 +36,14 @@ import scipy.sparse as sp
 #: Default cache budget: enough for a handful of n ~ 10^4 factorisations.
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
+#: Deferred-repair ledger bounds: at most this many pending (fingerprint,
+#: version) targets, each remembering at most this many stale source
+#: generations.  Deltas are short (the planner's repair limit) so the ledger
+#: is metadata-sized; the caps only bound pathological mutate-only traffic
+#: that never looks anything up.
+PENDING_TARGET_LIMIT = 64
+PENDING_SOURCE_LIMIT = 4
+
 
 def estimate_nbytes(obj: Any, _depth: int = 0) -> int:
     """Best-effort resident-size estimate used for eviction accounting.
@@ -153,6 +161,13 @@ class ArtifactCache:
         # serialises repair_graph calls (repairs mutate artifacts in place);
         # separate from _lock so multi-ms repairs never block plain lookups
         self._repair_lock = threading.Lock()
+        # pending-delta ledger for lazy repair: maps a *target* identity
+        # (new fingerprint, new version) to the stale source generations a
+        # first lookup can migrate artifacts from, each with the mutation
+        # delta that bridges it to the target.  See defer_repair.
+        self._pending: "OrderedDict[Tuple[str, int], Dict[Tuple[str, int], tuple]]" = (
+            OrderedDict()
+        )
         self.stats = CacheStats()
 
     @staticmethod
@@ -223,6 +238,18 @@ class ArtifactCache:
             for key in doomed:
                 self._remove_locked(key)
             self.stats.invalidations += len(doomed)
+            # the graph's generations are no longer repair sources or targets
+            for target in list(self._pending):
+                sources = self._pending[target]
+                if target[0] == graph_key and (
+                    keep_version is None or target[1] != keep_version
+                ):
+                    del self._pending[target]
+                    continue
+                for source in [s for s in sources if s[0] == graph_key]:
+                    del sources[source]
+                if not sources:
+                    del self._pending[target]
             return len(doomed)
 
     def repair_graph(
@@ -317,6 +344,171 @@ class ArtifactCache:
                 self._evict_locked()
         return migrated, dropped
 
+    # -- pending-delta ledger (lazy repair) -------------------------------------
+
+    def defer_repair(
+        self,
+        from_graph_key: str,
+        from_version: int,
+        new_graph_key: str,
+        new_version: int,
+        delta,
+        limit: int,
+    ) -> bool:
+        """Record that the stale generation can be *lazily* repaired later.
+
+        Instead of walking every cached artifact of ``(from_graph_key,
+        from_version)`` eagerly at mutation-detection time, the planner
+        stashes the mutation ``delta`` here; each stale artifact is then
+        migrated individually on its *first lookup* under the new identity
+        (or never, if it is never looked up again).  Chained mutations
+        coalesce: if the stale identity is itself a pending target, its
+        source generations are re-targeted at the new identity with the
+        concatenated delta -- sources whose combined delta exceeds ``limit``
+        are dropped (their artifacts invalidated), because the planner would
+        refuse to walk them anyway.  Returns whether any pending source was
+        recorded.
+        """
+        with self._lock:
+            sources: Dict[Tuple[str, int], tuple] = {}
+            chained = self._pending.pop((from_graph_key, from_version), None)
+            if chained:
+                for source, old_delta in chained.items():
+                    sources[source] = tuple(old_delta) + tuple(delta)
+            sources[(from_graph_key, from_version)] = tuple(delta)
+            kept: Dict[Tuple[str, int], tuple] = {}
+            # cap by closeness: the most recent generations (shortest combined
+            # delta) are the ones whose artifacts keep migrating forward, so
+            # they must win the source slots over long-stale ancestors
+            for source, combined in sorted(
+                sources.items(), key=lambda item: len(item[1])
+            ):
+                if len(combined) <= limit and len(kept) < PENDING_SOURCE_LIMIT:
+                    kept[source] = combined
+                else:
+                    self._invalidate_generation_locked(source)
+            if not kept:
+                return False
+            self._pending[(new_graph_key, new_version)] = kept
+            while len(self._pending) > PENDING_TARGET_LIMIT:
+                _, evicted = self._pending.popitem(last=False)
+                for source in evicted:
+                    self._invalidate_generation_locked(source)
+            return True
+
+    def pending_repair(self, graph_key: str, version: int):
+        """Stale generations repairable into ``(graph_key, version)``, or ``None``.
+
+        Returns ``{(source_graph_key, source_version): delta, ...}`` sorted
+        shortest-delta-first (the closest generation).  Sources that no
+        longer have any cached artifact are swept from the ledger here --
+        the "artifact evicted while its delta was pending" case resolves to
+        an ordinary rebuild with no dangling bookkeeping -- and a target
+        whose last source is swept reports ``None``.
+        """
+        with self._lock:
+            sources = self._pending.get((graph_key, version))
+            if not sources:
+                return None
+            alive_keys = {entry.graph_key for entry in self._entries.values()}
+            live = {
+                source: delta
+                for source, delta in sources.items()
+                if source[0] in alive_keys
+            }
+            if not live:
+                del self._pending[(graph_key, version)]
+                return None
+            if len(live) != len(sources):
+                self._pending[(graph_key, version)] = live
+            return dict(sorted(live.items(), key=lambda item: len(item[1])))
+
+    @property
+    def pending_repairs(self) -> int:
+        """Number of graph generations with a stashed (unpaid) repair delta."""
+        with self._lock:
+            return len(self._pending)
+
+    def take_stale_entry(
+        self,
+        graph_key: str,
+        version: int,
+        kind: str,
+        params: Tuple[Hashable, ...] = (),
+    ) -> Optional[CacheEntry]:
+        """Atomically pop one stale entry for a lazy repair attempt.
+
+        The entry leaves the cache before the caller's repair runs, so two
+        services sharing the cache can never hand the same artifact to two
+        repair walks (the loser finds nothing and rebuilds).  The caller
+        must finish the story: :meth:`adopt_repaired` on success,
+        :meth:`note_dropped` on failure.
+        """
+        with self._lock:
+            key = self.make_key(graph_key, version, kind, params)
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._remove_locked(key)
+            return entry
+
+    def adopt_repaired(
+        self,
+        graph_key: str,
+        version: int,
+        kind: str,
+        params: Tuple[Hashable, ...],
+        value: Any,
+        repair_seconds: float = 0.0,
+    ) -> Any:
+        """Insert a lazily repaired artifact under its new identity.
+
+        Counts one repair and the repair's wall time.  If a racing thread
+        built or repaired the same identity first, the racing value is
+        adopted instead (mirroring ``get_or_build``) and no repair is
+        counted.  Returns the value now cached under the identity.
+        """
+        with self._lock:
+            key = self.make_key(graph_key, version, kind, params)
+            existing = self._entries.get(key)
+            if existing is not None:
+                self.stats.build_seconds += repair_seconds
+                return existing.value
+            self._entries[key] = CacheEntry(
+                key=key,
+                value=value,
+                nbytes=estimate_nbytes(value),
+                graph_key=graph_key,
+                version=int(version),
+                kind=kind,
+                build_seconds=repair_seconds,
+            )
+            self._total_bytes += self._entries[key].nbytes
+            self.stats.repairs += 1
+            self.stats.build_seconds += repair_seconds
+            self._evict_locked()
+            return value
+
+    def note_dropped(self, count: int = 1) -> None:
+        """Account for stale entries dropped outside the cache's own sweeps.
+
+        Balances the books after :meth:`take_stale_entry` when the repair
+        attempt failed and the popped artifact was discarded.
+        """
+        with self._lock:
+            self.stats.invalidations += int(count)
+
+    def _invalidate_generation_locked(self, source: Tuple[str, int]) -> None:
+        graph_key, version = source
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if entry.graph_key == graph_key and entry.version == version
+        ]
+        for key in doomed:
+            self._remove_locked(key)
+        self.stats.invalidations += len(doomed)
+
     def discard(
         self, graph_key: str, version: int, kind: str, params: Tuple[Hashable, ...] = ()
     ) -> bool:
@@ -386,6 +578,7 @@ class ArtifactCache:
         """Drop every entry (stats counters are kept; they are cumulative)."""
         with self._lock:
             self._entries.clear()
+            self._pending.clear()
             self._total_bytes = 0
 
     def __len__(self) -> int:

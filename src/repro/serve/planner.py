@@ -45,19 +45,24 @@ Three query kinds exist (the service constructs them via
 
 Staleness: before executing a batch the planner checks the registry entry's
 version.  A drifted graph triggers ``registry.revalidate``, after which the
-outdated artifacts are either *repaired* or dropped -- the stale artifact is
-refused, never served.  Repair is the cheap path: when the graph's mutation
-journal yields a short delta (at most ``repair_delta_limit`` records, see
-:meth:`repro.graphs.graph.WeightedGraph.delta_since`), the planner walks it
-record by record and applies low-rank updates in lockstep across the cached
-stack -- Sherman-Morrison on the grounded ``splu`` solver and the dense
-resistance oracle, an embedding row-append on the JL-sketched oracle, a
-sparsifier edge-add on the solver preprocessing -- then rekeys the survivors
-to the new ``(fingerprint, version)`` via :meth:`ArtifactCache.repair_graph`.
-Anything the delta cannot express as a low-rank update (cross-component
-insertions, bridge removals, any removal for the dense oracle, exhausted
-``O(sqrt(n))`` update budgets) falls back to ``cache.invalidate_graph`` and a
-from-scratch rebuild, so repair never trades correctness for speed.
+outdated artifacts are either *repairable* or dropped -- the stale artifact
+is refused, never served.  Repair is lazy: when the graph's mutation journal
+yields a short delta (at most ``repair_delta_limit`` records, see
+:meth:`repro.graphs.graph.WeightedGraph.delta_since`), the planner stashes
+it in the cache's pending ledger (:meth:`ArtifactCache.defer_repair`) and
+returns without touching any artifact.  The first *lookup* of each stale
+artifact under the new identity (:meth:`QueryPlanner._try_lazy_repair`,
+invoked from the one build seam) walks the delta for that artifact alone --
+Sherman-Morrison on the grounded ``splu`` solver and the dense resistance
+oracle (with component-split re-grounding for bridge removals on the
+grounded solver), per-column rank-1 embedding repair on the JL-sketched
+oracle (insertions append, reweights/removals re-derive the edge's own
+Kane-Nelson column), a sparsifier edge-add on the solver preprocessing --
+and rekeys it via :meth:`ArtifactCache.adopt_repaired`.  An artifact never
+queried after the mutation never pays its repair.  Anything the delta cannot
+express as a low-rank update (cross-component insertions, bridge removals
+for oracles, exhausted ``O(sqrt(n))`` update budgets) drops that artifact
+and rebuilds it from scratch, so repair never trades correctness for speed.
 """
 
 from __future__ import annotations
@@ -521,6 +526,13 @@ class QueryPlanner:
         ``rng`` overrides the retry-jitter stream; background builds pass
         their own so two threads never race ``_retry_rng``.
         """
+        if rng is None:
+            # the one lazy-repair seam: just before the lookup, migrate a
+            # pending stale generation of exactly this artifact (and nothing
+            # else) to the entry's identity.  Flush-path only -- background
+            # builders rebuild instead, so repairs stay serialised behind the
+            # service's execute lock.
+            self._try_lazy_repair(entry, kind, params)
         breaker_key = (entry.fingerprint, kind, params)
         if not self.breaker.allow(breaker_key):
             self.health.increment("breaker_open_total")
@@ -561,12 +573,15 @@ class QueryPlanner:
         A drifted entry is revalidated, then its cached artifacts follow one
         of two paths: a short mutation delta (the graph's journal reaches
         back to the registered version and holds at most
-        ``repair_delta_limit`` records) is routed through
-        :meth:`ArtifactCache.repair_graph` with the lockstep low-rank repair
-        of :meth:`_repair_survivors`; otherwise everything built against the
-        stale content is invalidated and later queries rebuild.  Either way
-        no stale artifact can be served: the old ``(fingerprint, version)``
-        keys cease to exist before this method returns.
+        ``repair_delta_limit`` records) is *deferred* into the cache's
+        pending-delta ledger (:meth:`ArtifactCache.defer_repair`) -- no
+        repair work happens here; each stale artifact is migrated
+        individually on its first lookup under the new identity by
+        :meth:`_try_lazy_repair`, and an artifact never looked up again
+        never pays its repair at all.  Otherwise everything built against
+        the stale content is invalidated and later queries rebuild.  Either
+        way no stale artifact can be served: lookups key on the new
+        ``(fingerprint, version)``, which no stale entry carries.
         """
         entry = self.registry.get(graph_key)
         if not entry.is_current():
@@ -584,27 +599,17 @@ class QueryPlanner:
             limit = min(
                 self.repair_delta_limit, default_update_budget(entry.graph.n)
             )
+            deferred = False
             if delta and len(delta) <= limit:
-                try:
-                    self.cache.repair_graph(
-                        stale_fingerprint,
-                        stale_version,
-                        entry.fingerprint,
-                        entry.version,
-                        lambda candidates: self._repair_survivors(candidates, delta),
-                    )
-                except Exception:
-                    # degradation ladder: a repair walk that dies mid-delta
-                    # must not fail the query that triggered it.  The stale
-                    # entries were popped before the walk ran (see
-                    # ArtifactCache.repair_graph), so nothing half-updated
-                    # survives -- fall through to rebuild-from-scratch
-                    # semantics and count the degradation.
-                    self.health.increment("degraded_total")
-                    self.cache.invalidate_graph(
-                        stale_fingerprint, keep_version=entry.version
-                    )
-            else:
+                deferred = self.cache.defer_repair(
+                    stale_fingerprint,
+                    stale_version,
+                    entry.fingerprint,
+                    entry.version,
+                    tuple(delta),
+                    limit,
+                )
+            if not deferred:
                 self.cache.invalidate_graph(
                     stale_fingerprint, keep_version=entry.version
                 )
@@ -615,6 +620,243 @@ class QueryPlanner:
                 if key[0] != stale_fingerprint
             }
         return entry
+
+    #: artifact kinds the lazy-repair path knows how to migrate; everything
+    #: else (certification, gram structures, flow results) memoises exact
+    #: old-content computations and is never repaired
+    _REPAIRABLE_KINDS = (
+        "grounded",
+        "resistance_oracle",
+        "sketched_resistance",
+        "preprocessing",
+    )
+
+    def _try_lazy_repair(
+        self, entry: RegisteredGraph, kind: str, params: Tuple[Hashable, ...]
+    ) -> None:
+        """Migrate one stale artifact to the entry's identity, on first lookup.
+
+        The lazy half of the repair path: :meth:`_current_entry` stashed the
+        mutation delta in the cache's pending ledger; here -- called from
+        :meth:`_build` just before every cache lookup -- the artifact that is
+        about to be looked up is repaired across that delta if a stale
+        generation of it is still cached.  Sources are tried closest
+        (shortest delta) first.  The stale entry is popped *before* the walk
+        (:meth:`ArtifactCache.take_stale_entry`), so a concurrent repairer
+        can never double-apply updates to the same object; a walk that
+        refuses or dies drops the popped artifact (the books balance via
+        ``note_dropped``) and the lookup falls through to an ordinary
+        rebuild, counting the degradation only when the walk *raised*.
+        """
+        if kind not in self._REPAIRABLE_KINDS:
+            return
+        sources = self.cache.pending_repair(entry.fingerprint, entry.version)
+        if not sources:
+            return
+        if self.cache.contains(entry.fingerprint, entry.version, kind, params):
+            return
+        for (src_key, src_version), delta in sources.items():
+            stale = self.cache.take_stale_entry(src_key, src_version, kind, params)
+            if stale is None:
+                continue
+            start = time.perf_counter()
+            try:
+                value = self._repair_artifact(entry, stale, delta, kind, params)
+            except Exception:
+                self.health.increment("degraded_total")
+                self.cache.note_dropped()
+                return
+            if value is None:
+                self.cache.note_dropped()
+                return
+            self.cache.adopt_repaired(
+                entry.fingerprint,
+                entry.version,
+                kind,
+                params,
+                value,
+                repair_seconds=time.perf_counter() - start,
+            )
+            return
+
+    def _repair_artifact(
+        self,
+        entry: RegisteredGraph,
+        stale: CacheEntry,
+        delta: Sequence[MutationRecord],
+        kind: str,
+        params: Tuple[Hashable, ...],
+    ):
+        """Walk ``delta`` over one popped stale artifact; repaired value or None.
+
+        Per-kind policy (the lazy counterpart of :meth:`_repair_survivors`):
+
+        * ``grounded`` -- any op via :meth:`RepairableGroundedSolver.apply_update`;
+          a refused *removal* is retried with the component ``split_side``
+          (see :meth:`_split_side`), so bridge removals re-ground the new
+          component instead of rebuilding;
+        * ``resistance_oracle`` -- any op; the Sherman-Morrison denominator
+          guard inside :meth:`ResistanceOracle.apply_update` refuses bridge
+          removals itself, so removals no longer force a conservative rebuild;
+        * ``sketched_resistance`` -- insertions append a fresh column,
+          reweights/removals re-derive the edge's own column
+          (:meth:`SketchedResistanceOracle.repair_edge`); both reuse the
+          post-record solves the freshly repaired grounded solver recorded
+          (:meth:`RepairableGroundedSolver.update_log`), and the walk refuses
+          when the log does not cover the delta (the grounded was rebuilt) or
+          a record split a component;
+        * ``preprocessing`` -- weight increases only, via
+          :meth:`SolverPreprocessing.apply_insertion`.
+        """
+        if kind == "grounded":
+            return self._repair_grounded(entry, stale.value, delta)
+        if kind == "resistance_oracle":
+            return self._repair_dense(stale.value, delta)
+        if kind == "sketched_resistance":
+            return self._repair_sketch(entry, stale.value, delta, params)
+        return self._repair_preprocessing(stale.value, delta)
+
+    def _repair_grounded(
+        self,
+        entry: RegisteredGraph,
+        solver,
+        delta: Sequence[MutationRecord],
+    ):
+        if not isinstance(solver, RepairableGroundedSolver):
+            return None
+        # a split removal consumes two update slots (regulariser + removal):
+        # budget for the worst case up front instead of dying mid-walk
+        removals = sum(1 for record in delta if record.op == "remove")
+        if solver.update_budget_remaining < len(delta) + removals:
+            return None
+        for step, record in enumerate(delta):
+            self.faults.on_repair(step)
+            if solver.apply_update(record.u, record.v, record.weight_delta):
+                continue
+            if record.op != "remove":
+                return None
+            side = self._split_side(entry, delta, step)
+            if side is None or not solver.apply_update(
+                record.u, record.v, record.weight_delta, split_side=side
+            ):
+                return None
+        return solver
+
+    @staticmethod
+    def _split_side(
+        entry: RegisteredGraph, delta: Sequence[MutationRecord], step: int
+    ) -> Optional[set]:
+        """Vertex set cut off by the bridge removal at ``delta[step]``.
+
+        The registered graph already reflects the *whole* delta, so the
+        topology right after record ``step`` is reconstructed by undoing the
+        later records (existence only -- reweights don't move edges), then
+        the split side is the BFS component of the removed edge's ``v``
+        endpoint.  Returns ``None`` when ``u`` is still reachable: the
+        removal was no bridge and the solver's refusal was numerical, which
+        re-grounding cannot fix.
+        """
+        u_arr, v_arr, _ = entry.graph.edge_array()
+        adjacency: Dict[int, set] = {}
+        for a, b in zip(u_arr.tolist(), v_arr.tolist()):
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+        for record in reversed(delta[step + 1 :]):
+            if record.op == "add":
+                adjacency.setdefault(record.u, set()).discard(record.v)
+                adjacency.setdefault(record.v, set()).discard(record.u)
+            elif record.op == "remove":
+                adjacency.setdefault(record.u, set()).add(record.v)
+                adjacency.setdefault(record.v, set()).add(record.u)
+        target = delta[step]
+        seen = {target.v}
+        frontier = [target.v]
+        while frontier:
+            x = frontier.pop()
+            for y in adjacency.get(x, ()):
+                if y not in seen:
+                    seen.add(y)
+                    frontier.append(y)
+        if target.u in seen:
+            return None
+        return seen
+
+    def _repair_dense(self, oracle, delta: Sequence[MutationRecord]):
+        if not isinstance(oracle, ResistanceOracle):
+            return None
+        if oracle.max_updates - oracle.repairs_applied < len(delta):
+            return None
+        for step, record in enumerate(delta):
+            self.faults.on_repair(step)
+            if not oracle.apply_update(record.u, record.v, record.weight_delta):
+                return None
+        return oracle
+
+    def _repair_sketch(
+        self,
+        entry: RegisteredGraph,
+        oracle,
+        delta: Sequence[MutationRecord],
+        params: Tuple[Hashable, ...],
+    ):
+        if not isinstance(oracle, SketchedResistanceOracle):
+            return None
+        # the sketch's rank-1 repairs need the post-record solve z for every
+        # record; the grounded solver -- itself lazily repaired through this
+        # same delta a moment ago (or right now, via this _grounded call) --
+        # recorded exactly those, so no re-solving happens here
+        solver, _ = self._grounded(entry)
+        log = (
+            solver.update_log()
+            if isinstance(solver, RepairableGroundedSolver)
+            else []
+        )
+        if len(log) < len(delta):
+            return None  # grounded was rebuilt, not repaired: no z-chain
+        tail = log[len(log) - len(delta) :]
+        for step, (record, logged) in enumerate(zip(delta, tail)):
+            log_u, log_v, log_delta, z, split = logged
+            if split:
+                # the removal split a component: e_u - e_v is inconsistent
+                # across the re-grounding, so the sketch cannot follow
+                return None
+            if {log_u, log_v} != {record.u, record.v} or not np.isclose(
+                log_delta, record.weight_delta
+            ):
+                return None
+            self.faults.on_repair(step)
+            if record.op == "add":
+                ok = oracle.append_edge(record.u, record.v, record.weight, z=z)
+            else:
+                ok = oracle.repair_edge(
+                    record.u,
+                    record.v,
+                    record.prev_weight,
+                    0.0 if record.weight is None else record.weight,
+                    z=z,
+                )
+            if not ok:
+                return None
+        # key params are (eta, seed): the repaired oracle survives only
+        # while its (possibly widened) bound still honours the promised eta
+        if oracle.eta_effective > params[0]:
+            return None
+        return oracle
+
+    def _repair_preprocessing(self, prep, delta: Sequence[MutationRecord]):
+        if not isinstance(prep, SolverPreprocessing):
+            return None
+        grounded = prep.grounded
+        if (
+            isinstance(grounded, RepairableGroundedSolver)
+            and grounded.update_budget_remaining < len(delta)
+        ):
+            return None
+        for step, record in enumerate(delta):
+            self.faults.on_repair(step)
+            if not prep.apply_insertion(record.u, record.v, record.weight_delta):
+                return None
+        return prep
 
     def _repair_survivors(
         self,
@@ -908,6 +1150,10 @@ class QueryPlanner:
         fallbacks are flagged and counted in ``degraded_total``.
         """
         params = (eta, self.solver_seed)
+        # repair a pending stale sketch before the residency check below:
+        # a lazily migrated sketch must count as "cached" for the demand
+        # accounting, not trigger a redundant build decision
+        self._try_lazy_repair(entry, "sketched_resistance", params)
         if not self.cache.contains(
             entry.fingerprint, entry.version, "sketched_resistance", params
         ):

@@ -244,9 +244,14 @@ class LaplacianService:
     deltas of a registered graph -- read from the graph's journal via
     :meth:`~repro.graphs.graph.WeightedGraph.delta_since` -- into the cached
     artifact stack with low-rank updates instead of rebuilding it from
-    scratch; ``repair=False`` restores unconditional invalidate-and-rebuild.
-    Either way the staleness contract is identical: a query observing a
-    mutated graph is always answered against the *current* content.
+    scratch.  Repair is *lazy*: detecting a mutation only stashes the delta
+    in the cache's pending ledger (``metrics_snapshot()`` reports the ledger
+    depth as ``pending_repairs``); each stale artifact pays its own repair on
+    its first post-mutation lookup, and an artifact never looked up again
+    never pays at all.  ``repair=False`` restores unconditional
+    invalidate-and-rebuild.  Either way the staleness contract is identical:
+    a query observing a mutated graph is always answered against the
+    *current* content.
 
     Thread-safety: ``submit``/``flush`` and every synchronous front door may
     be called from any number of threads; queries are validated at submit
@@ -713,6 +718,7 @@ class LaplacianService:
             "cache": cache_stats.as_dict(),
             "cache_entries": len(self.cache),
             "cache_bytes": self.cache.total_bytes,
+            "pending_repairs": self.cache.pending_repairs,
             "registered_graphs": len(self.registry),
         }
         snapshot.update(self.health.as_dict())

@@ -113,6 +113,78 @@ def test_giant_bulk_mutation_drops_the_journal():
     assert len(g.delta_since(v1)) == 1
 
 
+def test_mixed_traffic_at_exactly_the_window_boundary():
+    """Complete-or-None at the 1024-record edge under mixed op traffic.
+
+    A consumer that snapshotted ``version`` and then let exactly
+    ``JOURNAL_LIMIT`` mixed records land must still get the full delta; one
+    more record anywhere in the mix (bulk ``add_edges`` sharing a version,
+    scalar ``remove_edge``) must flip the answer to ``None`` -- never a
+    truncated list missing the overflowed record.
+    """
+    n = JOURNAL_LIMIT + 50
+    g = WeightedGraph(n, edges=[(0, 1, 1.0), (1, 2, 1.0)])
+    v0 = g.version
+    # JOURNAL_LIMIT records exactly: one removal, one bulk batch of 7
+    # (one shared version, 7 records), then scalar adds for the rest
+    g.remove_edge(0, 1)
+    g.add_edges(range(2, 9), range(3, 10), [1.0] * 7)
+    for i in range(JOURNAL_LIMIT - 8):
+        g.add_edge(10 + i, 11 + i, 1.0)
+    delta = g.delta_since(v0)
+    assert delta is not None and len(delta) == JOURNAL_LIMIT
+    assert delta[0].op == "remove"
+    # the 1025th record evicts the removal: the same request now rebuilds
+    g.add_edge(0, 1, 2.0)
+    assert g.delta_since(v0) is None
+    # while a request from just past the eviction point stays complete
+    tail = g.delta_since(v0 + 1)
+    assert tail is not None and len(tail) == JOURNAL_LIMIT
+
+
+def test_overflow_is_complete_or_none_under_concurrent_mutation():
+    """The serving tier reads deltas on its flush thread while user threads
+    mutate: an overflowing journal must never hand the reader a truncated
+    delta (or blow up iterating a deque that mutated underneath it)."""
+    import threading
+
+    g = WeightedGraph(64, edges=[(0, 1, 1.0)])
+    stop = threading.Event()
+    problems = []
+
+    def mutate():
+        i = 0
+        while not stop.is_set():
+            g.add_edge(0, 1, 1.0 + (i % 97))
+            if i % 5 == 0:
+                g.remove_edge(0, 1)
+                g.add_edge(0, 1, 1.0)
+            i += 1
+
+    def read():
+        while not stop.is_set():
+            v = g.version
+            delta = g.delta_since(v)
+            if delta is None:
+                continue  # overflowed past v: the honest rebuild answer
+            versions = [r.version for r in delta]
+            if any(x < v + 1 for x in versions):
+                problems.append(("stale record", v, versions[:3]))
+            if versions != sorted(versions):
+                problems.append(("out of order", v, versions[:3]))
+
+    threads = [threading.Thread(target=mutate), threading.Thread(target=read)]
+    for t in threads:
+        t.start()
+    stop_timer = threading.Timer(1.0, stop.set)
+    stop_timer.start()
+    for t in threads:
+        t.join(timeout=30)
+    stop_timer.cancel()
+    stop.set()
+    assert not problems, problems[:5]
+
+
 def test_copy_carries_the_journal():
     g = WeightedGraph(4)
     v0 = g.version

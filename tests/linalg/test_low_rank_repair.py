@@ -237,6 +237,136 @@ def test_sketched_append_refuses_cross_component():
     assert oracle.appended == 0
 
 
+class TestSplitRegrounding:
+    """Bridge removals with ``split_side``: re-ground instead of refusing."""
+
+    @pytest.mark.parametrize("side_of", ["u", "v"])
+    def test_split_removal_matches_fresh_factorisation(self, side_of):
+        graph = generators.path_graph(30)
+        solver = RepairableGroundedSolver(graph)
+        graph.remove_edge(12, 13)
+        side = set(range(13)) if side_of == "u" else set(range(13, 30))
+        assert solver.apply_update(12, 13, -1.0, split_side=side)
+        assert solver.updates_applied == 2  # regulariser + removal
+        fresh = GroundedLaplacianSolver(graph)
+        rng = np.random.default_rng(41)
+        pu = rng.integers(0, graph.n, 128)
+        pv = rng.integers(0, graph.n, 128)
+        truth = fresh.pair_resistances(pu, pv)
+        assert np.any(np.isinf(truth))  # the probe really crosses the split
+        np.testing.assert_allclose(
+            solver.pair_resistances(pu, pv), truth, atol=TOL
+        )
+
+    def test_split_removal_composes_with_later_updates(self):
+        graph = generators.path_graph(24)
+        solver = RepairableGroundedSolver(graph)
+        graph.remove_edge(10, 11)
+        assert solver.apply_update(10, 11, -1.0, split_side=set(range(11, 24)))
+        # keep mutating on both sides of the split: a within-component add
+        # and a reweight, absorbed as ordinary rank-1 updates
+        graph.add_edge(2, 8, 1.5)
+        assert solver.apply_update(2, 8, 1.5)
+        graph.add_edge(15, 16, 3.0)  # was 1.0
+        assert solver.apply_update(15, 16, 2.0)
+        fresh = GroundedLaplacianSolver(graph)
+        pu = np.arange(graph.n - 1)
+        pv = np.arange(1, graph.n)
+        np.testing.assert_allclose(
+            solver.pair_resistances(pu, pv), fresh.pair_resistances(pu, pv), atol=TOL
+        )
+
+    def test_split_needs_two_slots(self):
+        graph = generators.path_graph(12)
+        solver = RepairableGroundedSolver(graph, max_updates=1)
+        assert not solver.apply_update(5, 6, -1.0, split_side=set(range(6, 12)))
+        assert solver.updates_applied == 0
+
+    def test_non_bridge_removal_ignores_split_side(self):
+        graph = generators.grid_graph(6, 6)  # every edge sits on a cycle
+        solver = RepairableGroundedSolver(graph)
+        w = graph.weight(0, 1)
+        graph.remove_edge(0, 1)
+        # split_side offered but the rank-1 path succeeds: one slot, no
+        # regulariser, and still exact
+        assert solver.apply_update(0, 1, -w, split_side={0})
+        assert solver.updates_applied == 1
+        fresh = GroundedLaplacianSolver(graph)
+        rng = np.random.default_rng(43)
+        pu = rng.integers(0, graph.n, 64)
+        pv = rng.integers(0, graph.n, 64)
+        np.testing.assert_allclose(
+            solver.pair_resistances(pu, pv), fresh.pair_resistances(pu, pv), atol=TOL
+        )
+
+
+class TestSketchRepairEdge:
+    """Reweights/removals repair the column in place; eta does not widen."""
+
+    def test_reweight_and_removal_stay_within_eta(self):
+        graph = generators.random_weighted_graph(400, average_degree=8, seed=5)
+        grounded = RepairableGroundedSolver(graph)
+        oracle = SketchedResistanceOracle(graph, eta=0.5, seed=0, grounded=grounded)
+        assert not oracle.exact
+        eta_built = oracle.eta_effective
+
+        u, v, w = graph.edge_list()[7]
+        graph.add_edge(u, v, w + 1.3)
+        assert grounded.apply_update(u, v, 1.3)
+        assert oracle.repair_edge(u, v, w, w + 1.3, grounded)
+
+        ru, rv, rw = graph.edge_list()[19]
+        graph.remove_edge(ru, rv)
+        assert grounded.apply_update(ru, rv, -rw)
+        assert oracle.repair_edge(ru, rv, rw, 0.0, grounded)
+
+        assert oracle.reweighted == 1 and oracle.removed == 1
+        # the mixed contract: only insertions widen the bound
+        assert oracle.eta_effective == eta_built
+
+        exact = GroundedLaplacianSolver(graph)
+        rng = np.random.default_rng(47)
+        pu = rng.integers(0, graph.n, 512)
+        pv = rng.integers(0, graph.n, 512)
+        truth = exact.pair_resistances(pu, pv)
+        approx = oracle.pair_resistances(pu, pv)
+        positive = np.isfinite(truth) & (truth > 0)
+        rel = np.abs(approx[positive] - truth[positive]) / truth[positive]
+        assert rel.max() <= oracle.eta_effective
+
+    def test_retired_column_refuses_further_repair(self):
+        graph = generators.grid_graph(20, 20)
+        grounded = RepairableGroundedSolver(graph)
+        oracle = SketchedResistanceOracle(graph, eta=0.5, seed=0, grounded=grounded)
+        u, v, w = graph.edge_list()[3]
+        graph.remove_edge(u, v)
+        assert grounded.apply_update(u, v, -w)
+        assert oracle.repair_edge(u, v, w, 0.0, grounded)
+        # the column is retired: further repairs of the same edge must not
+        # resurrect it through the repair path (the serving layer re-inserts
+        # via append_edge with a fresh column instead)
+        assert not oracle.repair_edge(u, v, w, 2.0 * w, grounded)
+        assert oracle.removed == 1 and oracle.reweighted == 0
+
+    def test_exact_mode_repair_matches_fresh(self):
+        graph = generators.grid_graph(4, 4)  # small enough for identity sketch
+        grounded = RepairableGroundedSolver(graph)
+        oracle = SketchedResistanceOracle(graph, eta=0.5, seed=0, grounded=grounded)
+        assert oracle.exact
+        u, v, w = graph.edge_list()[5]
+        graph.add_edge(u, v, w + 0.7)
+        assert grounded.apply_update(u, v, 0.7)
+        assert oracle.repair_edge(u, v, w, w + 0.7, grounded)
+        assert oracle.eta_effective == 0.0
+        fresh = GroundedLaplacianSolver(graph)
+        rng = np.random.default_rng(53)
+        pu = rng.integers(0, graph.n, 64)
+        pv = rng.integers(0, graph.n, 64)
+        np.testing.assert_allclose(
+            oracle.pair_resistances(pu, pv), fresh.pair_resistances(pu, pv), atol=TOL
+        )
+
+
 def test_eta_effective_widens_with_ambient_dimension():
     m = 5000
     eta = 0.25

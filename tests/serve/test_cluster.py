@@ -405,10 +405,13 @@ class TestMembership:
 @pytest.mark.cluster
 class TestControlTimeout:
     def test_wedged_worker_is_killed_not_leaked(self):
+        # the timeout must stay well under the 8s wedge so the wedged control
+        # round-trip kills, but not so tight that a loaded single-core CI box
+        # trips it on the ordinary register round-trip (observed at 1.0s)
         cluster = make_cluster(
             num_workers=2,
             replication_factor=1,
-            control_timeout_seconds=1.0,
+            control_timeout_seconds=3.0,
             health=HealthPolicy(enabled=False),
         )
         try:
